@@ -1,0 +1,60 @@
+// Shared infrastructure for the table/figure harnesses.
+//
+// All experiment budgets are virtual-clock ticks. The mapping used
+// throughout (documented in DESIGN.md): "1h" of the paper's wall-clock
+// = kTicksPerHour ticks. Pass --quick to any bench to divide budgets by
+// 10 (CI smoke mode).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/driver.h"
+#include "support/table.h"
+#include "targets/targets.h"
+
+namespace pbse::bench {
+
+inline constexpr std::uint64_t kTicksPerHour = 1'000'000;
+
+struct BenchConfig {
+  std::uint64_t hour1 = kTicksPerHour;
+  std::uint64_t hour10 = 10 * kTicksPerHour;
+  bool quick = false;
+};
+
+inline BenchConfig parse_args(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      config.quick = true;
+      config.hour1 /= 10;
+      config.hour10 /= 10;
+    }
+  }
+  return config;
+}
+
+/// Builds a fresh module for a Table III-ordered target by driver name.
+inline ir::Module build_by_driver(const std::string& driver) {
+  for (const auto& t : targets::all_targets()) {
+    if (t.driver == driver) return targets::build_target(t.source());
+  }
+  std::fprintf(stderr, "unknown target driver: %s\n", driver.c_str());
+  std::abort();
+}
+
+inline const targets::TargetInfo& target_by_driver(const std::string& driver) {
+  for (const auto& t : targets::all_targets())
+    if (t.driver == driver) return t;
+  std::fprintf(stderr, "unknown target driver: %s\n", driver.c_str());
+  std::abort();
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace pbse::bench

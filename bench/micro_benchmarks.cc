@@ -1,0 +1,127 @@
+// google-benchmark microbenchmarks of the engine's hot paths: expression
+// interning/folding, concrete evaluation, solver queries (cache on/off,
+// independence on/off), k-means clustering, and raw interpretation speed.
+#include <benchmark/benchmark.h>
+
+#include "concolic/concolic_executor.h"
+#include "expr/evaluator.h"
+#include "phase/kmeans.h"
+#include "solver/solver.h"
+#include "targets/targets.h"
+#include "vm/executor.h"
+
+namespace {
+
+using namespace pbse;
+
+ExprRef build_sum_chain(const ArrayRef& array, unsigned n) {
+  ExprRef sum = mk_const(0, 32);
+  for (unsigned i = 0; i < n; ++i)
+    sum = mk_add(sum, mk_zext(mk_read(array, i), 32));
+  return sum;
+}
+
+void BM_ExprConstruction(benchmark::State& state) {
+  auto array = std::make_shared<Array>("bench", 4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_sum_chain(array, static_cast<unsigned>(state.range(0))));
+  }
+}
+BENCHMARK(BM_ExprConstruction)->Arg(16)->Arg(256);
+
+void BM_ExprEvaluation(benchmark::State& state) {
+  auto array = std::make_shared<Array>("bench", 4096);
+  const ExprRef sum = build_sum_chain(array, 256);
+  Assignment a;
+  auto& bytes = a.mutable_bytes(array);
+  for (std::size_t i = 0; i < bytes.size(); ++i)
+    bytes[i] = static_cast<std::uint8_t>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluate(sum, a));
+  }
+}
+BENCHMARK(BM_ExprEvaluation);
+
+void BM_SolverMagicBytes(benchmark::State& state) {
+  const bool use_cache = state.range(0) != 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto array = std::make_shared<Array>("bench", 64);
+    VClock clock;
+    Stats stats;
+    SolverOptions options;
+    options.use_cache = use_cache;
+    Solver solver(clock, stats, options);
+    ConstraintSet cs;
+    state.ResumeTiming();
+    // 16 repeated magic-byte satisfiability queries.
+    for (unsigned i = 0; i < 16; ++i) {
+      const ExprRef q = mk_eq(mk_read(array, i % 4), mk_const(0x7f, 8));
+      Assignment model;
+      benchmark::DoNotOptimize(solver.check_sat(cs, q, &model));
+    }
+  }
+}
+BENCHMARK(BM_SolverMagicBytes)->Arg(0)->Arg(1);
+
+void BM_SolverLoopBound(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto array = std::make_shared<Array>("bench", 64);
+    VClock clock;
+    Stats stats;
+    Solver solver(clock, stats);
+    ConstraintSet cs;
+    const ExprRef count =
+        mk_or(mk_zext(mk_read(array, 0), 32),
+              mk_shl(mk_zext(mk_read(array, 1), 32), mk_const(8, 32)));
+    cs.add(mk_ult(mk_const(0, 32), count));
+    state.ResumeTiming();
+    for (unsigned i = 1; i <= 8; ++i) {
+      const ExprRef q = mk_ult(mk_const(i, 32), count);
+      benchmark::DoNotOptimize(solver.check_sat(cs, q));
+    }
+  }
+}
+BENCHMARK(BM_SolverLoopBound);
+
+void BM_ConcreteInterpretation(benchmark::State& state) {
+  ir::Module module = targets::build_target(targets::pngtest_source());
+  const auto seed = targets::make_mpng_seed(4);
+  for (auto _ : state) {
+    VClock clock;
+    Stats stats;
+    Solver solver(clock, stats);
+    vm::Executor executor(module, solver, clock, stats);
+    concolic::ConcolicOptions options;
+    options.record_trace = false;
+    auto result = run_concolic(executor, "main", seed, options);
+    benchmark::DoNotOptimize(result.instructions);
+    state.counters["insts"] = static_cast<double>(result.instructions);
+  }
+}
+BENCHMARK(BM_ConcreteInterpretation);
+
+void BM_KMeans(benchmark::State& state) {
+  // 200 points, 64 dims, clustered around 4 centers.
+  Rng data_rng(42);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> p(64);
+    const int center = i % 4;
+    for (int d = 0; d < 64; ++d)
+      p[d] = center * 10.0 + data_rng.uniform();
+    points.push_back(std::move(p));
+  }
+  for (auto _ : state) {
+    Rng rng(7);
+    benchmark::DoNotOptimize(
+        phase::kmeans(points, static_cast<std::uint32_t>(state.range(0)), rng));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

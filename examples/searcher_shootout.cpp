@@ -1,0 +1,70 @@
+// Domain example: race every searcher (and pbSE) on one target and print
+// a coverage-over-time table — a small interactive version of Table I.
+//
+//   $ ./examples/searcher_shootout [driver] [budget_ticks]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/driver.h"
+#include "targets/targets.h"
+
+int main(int argc, char** argv) {
+  using namespace pbse;
+
+  const char* driver = argc > 1 ? argv[1] : "dwarfdump";
+  const std::uint64_t budget =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2'000'000ull;
+
+  const targets::TargetInfo* info = nullptr;
+  for (const auto& t : targets::all_targets())
+    if (t.driver == driver) info = &t;
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown target '%s'\n", driver);
+    return 1;
+  }
+  ir::Module module = targets::build_target(info->source());
+  std::printf("%s (%u blocks), budget %llu ticks\n", driver,
+              module.total_blocks(),
+              static_cast<unsigned long long>(budget));
+
+  constexpr int kCheckpoints = 5;
+  std::printf("%-14s", "strategy");
+  for (int c = 1; c <= kCheckpoints; ++c)
+    std::printf("  %3d%%", c * 100 / kCheckpoints);
+  std::printf("   bugs\n");
+
+  for (const auto kind :
+       {search::SearcherKind::kDefault, search::SearcherKind::kRandomPath,
+        search::SearcherKind::kRandomState, search::SearcherKind::kCovNew,
+        search::SearcherKind::kMD2U, search::SearcherKind::kDFS,
+        search::SearcherKind::kBFS}) {
+    core::KleeRunOptions options;
+    options.searcher = kind;
+    options.sym_file_size = 1000;
+    core::KleeRun run(module, "main", options);
+    std::printf("%-14s", search::searcher_kind_name(kind));
+    for (int c = 1; c <= kCheckpoints; ++c) {
+      run.run(budget / kCheckpoints);
+      std::printf(" %5llu",
+                  static_cast<unsigned long long>(run.executor().num_covered()));
+    }
+    std::printf("  %5zu\n", run.executor().bugs().size());
+  }
+
+  core::PbseDriver pbse(module, "main");
+  if (pbse.prepare(info->seed(6))) {
+    std::printf("%-14s", "pbSE");
+    for (int c = 1; c <= kCheckpoints; ++c) {
+      const std::uint64_t target_ticks =
+          budget * static_cast<std::uint64_t>(c) / kCheckpoints;
+      if (target_ticks > pbse.clock().now())
+        pbse.run(target_ticks - pbse.clock().now());
+      std::printf(" %5llu", static_cast<unsigned long long>(
+                                pbse.executor().num_covered()));
+    }
+    std::printf("  %5zu\n", pbse.executor().bugs().size());
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "concolic/bbv.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace pbse::concolic {
+
+std::vector<std::vector<double>> featurize_bbvs(const std::vector<BBV>& bbvs,
+                                                double coverage_weight) {
+  // Stable column order: ascending block id over the union of seen blocks.
+  std::map<std::uint32_t, std::size_t> column_of;
+  for (const BBV& v : bbvs)
+    for (const auto& [bb, c] : v.counts) {
+      (void)c;
+      column_of.emplace(bb, 0);
+    }
+  std::size_t next = 0;
+  for (auto& [bb, col] : column_of) col = next++;
+
+  const std::size_t dims = column_of.size() + (coverage_weight > 0 ? 1 : 0);
+  std::vector<std::vector<double>> points;
+  points.reserve(bbvs.size());
+  for (const BBV& v : bbvs) {
+    std::vector<double> p(dims, 0.0);
+    const double total = static_cast<double>(v.total_entries());
+    if (total > 0) {
+      for (const auto& [bb, c] : v.counts)
+        p[column_of[bb]] = static_cast<double>(c) / total;
+    }
+    if (coverage_weight > 0) p[dims - 1] = v.coverage * coverage_weight;
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+}  // namespace pbse::concolic

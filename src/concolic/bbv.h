@@ -1,0 +1,36 @@
+// Basic Block Vectors (paper Sec. III-B1): per-interval execution counts of
+// every basic block, plus the code-coverage element pbSE appends so that
+// densely-repeating (trap) phases cluster together.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace pbse::concolic {
+
+/// One gathering interval's block-entry histogram.
+struct BBV {
+  std::uint64_t start_ticks = 0;
+  std::uint64_t end_ticks = 0;
+  /// Sparse entry counts: global block id -> number of entries.
+  std::unordered_map<std::uint32_t, std::uint32_t> counts;
+  /// Fraction of all blocks covered at gather time — the extra element
+  /// pbSE adds to the vector (Sec. III-B1, Fig 4).
+  double coverage = 0.0;
+
+  std::uint64_t total_entries() const {
+    std::uint64_t n = 0;
+    for (const auto& [bb, c] : counts) n += c;
+    return n;
+  }
+};
+
+/// Dense, L1-normalized feature matrix over a BBV sequence.
+/// Column space = union of blocks seen; optionally appends the coverage
+/// element scaled by `coverage_weight` (0 disables it — the Fig 4(a)
+/// ablation).
+std::vector<std::vector<double>> featurize_bbvs(const std::vector<BBV>& bbvs,
+                                                double coverage_weight);
+
+}  // namespace pbse::concolic

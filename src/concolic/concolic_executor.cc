@@ -1,0 +1,61 @@
+#include "concolic/concolic_executor.h"
+
+namespace pbse::concolic {
+
+ConcolicResult run_concolic(vm::Executor& executor, const std::string& entry,
+                            const std::vector<std::uint8_t>& seed,
+                            const ConcolicOptions& options) {
+  ConcolicResult result;
+  result.seed = seed;
+  result.input_array = std::make_shared<Array>(
+      "file", static_cast<std::uint32_t>(seed.size()));
+
+  auto seed_assignment = std::make_shared<Assignment>();
+  seed_assignment->set(result.input_array, seed);
+  CachingEvaluator seed_eval(seed_assignment);
+
+  const std::uint64_t t0 = executor.clock().now();
+
+  // BBV gathering state, fed by the block-entry hook (trackBB in
+  // Algorithm 2).
+  BBV current;
+  current.start_ticks = t0;
+  std::uint64_t interval_start = t0;
+
+  auto flush_interval = [&](std::uint64_t now) {
+    current.end_ticks = now;
+    current.coverage =
+        static_cast<double>(executor.num_covered()) /
+        static_cast<double>(executor.module().total_blocks());
+    result.bbvs.push_back(std::move(current));
+    current = BBV{};
+    current.start_ticks = now;
+    interval_start = now;
+  };
+
+  executor.on_block_entered = [&](const vm::ExecutionState&,
+                                  std::uint32_t bb) {
+    ++current.counts[bb];
+    if (options.record_trace)
+      result.trace.emplace_back(executor.clock().now(), bb);
+  };
+
+  auto state = executor.make_initial_state(entry, result.input_array, seed);
+
+  while (!state->done() && result.instructions < options.max_instructions) {
+    executor.step_concolic(*state, *seed_assignment, seed_eval,
+                           result.seed_states, options.offpath_bug_checks);
+    ++result.instructions;
+    const std::uint64_t now = executor.clock().now();
+    if (now - interval_start >= options.interval_ticks)
+      flush_interval(now);  // Algorithm 2 line 27: logToBBVs
+  }
+  flush_interval(executor.clock().now());
+  executor.on_block_entered = nullptr;
+
+  result.termination = state->termination;
+  result.ticks_used = executor.clock().now() - t0;
+  return result;
+}
+
+}  // namespace pbse::concolic

@@ -1,0 +1,47 @@
+// Concolic execution (paper Algorithm 2): run the target on a concrete
+// seed while maintaining the symbolic state in lockstep, gathering BBVs per
+// time interval and recording a seedState at every symbolic branch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "concolic/bbv.h"
+#include "vm/executor.h"
+
+namespace pbse::concolic {
+
+struct ConcolicOptions {
+  /// BBV gathering interval in virtual-clock ticks.
+  std::uint64_t interval_ticks = 2048;
+  /// Safety cap on interpreted instructions.
+  std::uint64_t max_instructions = 20'000'000;
+  /// Record the full (ticks, block) entry trace (Fig 1 / Fig 5 plots).
+  bool record_trace = true;
+  /// Report feasible-but-off-seed guard violations of internal buffers
+  /// (KLEE seeded-mode semantics; finds the straight-line libpng month
+  /// bug). Turn off for pure concrete replay of a test case.
+  bool offpath_bug_checks = true;
+};
+
+struct ConcolicResult {
+  std::vector<BBV> bbvs;
+  std::vector<vm::ForkRecord> seed_states;
+  /// The full block-entry trace: (ticks, global block id).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> trace;
+  std::uint64_t ticks_used = 0;      // the paper's "c-time"
+  std::uint64_t instructions = 0;
+  vm::TerminationReason termination = vm::TerminationReason::kRunning;
+  ArrayRef input_array;
+  std::vector<std::uint8_t> seed;
+};
+
+/// Runs `entry(file, size)` concolically on `seed`. The executor's coverage
+/// map accumulates the concrete path's blocks (pbSE counts those too).
+ConcolicResult run_concolic(vm::Executor& executor, const std::string& entry,
+                            const std::vector<std::uint8_t>& seed,
+                            const ConcolicOptions& options = {});
+
+}  // namespace pbse::concolic

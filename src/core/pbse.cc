@@ -1,0 +1,165 @@
+#include "core/pbse.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "support/log.h"
+
+namespace pbse::core {
+
+PbseDriver::PbseDriver(const ir::Module& module, const std::string& entry,
+                       PbseOptions options)
+    : module_(module),
+      entry_(entry),
+      options_(options),
+      rng_(options.rng_seed) {
+  solver_ = std::make_unique<Solver>(clock_, stats_, options_.solver);
+  executor_ = std::make_unique<vm::Executor>(module_, *solver_, clock_,
+                                             stats_, options_.executor);
+}
+
+bool PbseDriver::prepare(const std::vector<std::uint8_t>& seed) {
+  // --- Step 1: concolic execution (Algorithm 2). -------------------------
+  const std::uint64_t t0 = clock_.now();
+  concolic_ = run_concolic(*executor_, entry_, seed, options_.concolic);
+  c_time_ = clock_.now() - t0;
+  // Bugs hit by the seed itself belong to no phase.
+  bug_phases_.assign(executor_->bugs().size(), ~std::uint32_t{0});
+
+  // --- Step 2: phase parsing. --------------------------------------------
+  analysis_ = phase::analyze_phases(concolic_.bbvs, options_.phase);
+  // Charge the clustering work to the virtual clock (the paper's p-time).
+  p_time_ = analysis_.work / 8 + 1;
+  clock_.advance(p_time_);
+
+  if (concolic_.seed_states.empty() || analysis_.phases.empty()) return false;
+
+  // SeedState selection (Sec. III-B3): same fork point -> keep earliest.
+  std::unordered_map<std::uint64_t, const vm::ForkRecord*> earliest;
+  for (const vm::ForkRecord& r : concolic_.seed_states) {
+    const std::uint64_t key =
+        ((std::uint64_t{r.fork_bb} << 32) | r.fork_inst) * 2 +
+        (r.flipped ? 1 : 0);
+    auto it = earliest.find(key);
+    if (it == earliest.end() || r.fork_ticks < it->second->fork_ticks)
+      earliest[key] = &r;
+  }
+  stats_.add("pbse.seed_states_total", concolic_.seed_states.size());
+  stats_.add("pbse.seed_states_kept", earliest.size());
+
+  // Map retained seedStates to phases by fork time (Sec. III-B2). The
+  // flipped records all stay; of the seed-following snapshots each phase
+  // keeps only the EARLIEST one — a single "resume the seed path from this
+  // phase's entry" state per phase, which re-examines the phase's own code
+  // symbolically without flooding the scheduler with duplicate walkers.
+  phase_seed_states_.assign(analysis_.phases.size(), {});
+  std::vector<const vm::ForkRecord*> phase_resume(analysis_.phases.size(),
+                                                  nullptr);
+  for (const auto& [key, record] : earliest) {
+    (void)key;
+    const std::uint32_t phase_id =
+        phase::phase_of_ticks(analysis_, concolic_.bbvs, record->fork_ticks);
+    if (record->flipped) {
+      phase_seed_states_[phase_id].push_back(*record);
+    } else if (phase_resume[phase_id] == nullptr ||
+               record->fork_ticks < phase_resume[phase_id]->fork_ticks) {
+      phase_resume[phase_id] = record;
+    }
+  }
+  for (std::uint32_t pid = 0; pid < phase_resume.size(); ++pid) {
+    if (phase_resume[pid] != nullptr)
+      phase_seed_states_[pid].push_back(*phase_resume[pid]);
+  }
+  // Within a phase, activate seedStates in fork order (earlier constraints
+  // are simpler — same rationale as the paper's phase ordering).
+  for (auto& list : phase_seed_states_)
+    std::stable_sort(list.begin(), list.end(),
+                     [](const vm::ForkRecord& a, const vm::ForkRecord& b) {
+                       return a.fork_ticks < b.fork_ticks;
+                     });
+
+  // Build per-phase runtimes (phases are already ordered by first-BBV time).
+  runtimes_.clear();
+  for (const phase::Phase& p : analysis_.phases) {
+    PhaseRuntime rt;
+    rt.phase_id = p.id;
+    rt.searcher = search::make_searcher(options_.phase_searcher, *executor_,
+                                        rng_);
+    rt.engine = std::make_unique<search::SymbolicEngine>(
+        *executor_, *rt.searcher, options_.engine);
+    rt.pending = std::move(phase_seed_states_[p.id]);
+    phase_seed_states_[p.id] = {};  // moved out; keep sizes via runtimes
+    runtimes_.push_back(std::move(rt));
+  }
+  // Restore the per-phase lists for introspection (copy from runtimes).
+  for (std::size_t i = 0; i < runtimes_.size(); ++i)
+    phase_seed_states_[runtimes_[i].phase_id] = runtimes_[i].pending;
+  return true;
+}
+
+void PbseDriver::activate_pending(PhaseRuntime& phase) {
+  for (vm::ForkRecord& record : phase.pending) {
+    // Lazy pass-through: validate (or repair) the seedState's model against
+    // its flipped branch constraint before scheduling it.
+    auto state = std::make_unique<vm::ExecutionState>(*record.state);
+    state->id = executor_->allocate_state_id();
+    if (!executor_->validate_model(*state)) continue;
+    phase.engine->add_state(std::move(state));
+    stats_.add("pbse.seed_states_activated");
+  }
+  phase.pending.clear();
+  phase.started = true;
+}
+
+void PbseDriver::run(VClock::Ticks budget) {
+  const Deadline overall(clock_, budget);
+
+  // Algorithm 3.
+  std::uint64_t i = 0;
+  std::vector<PhaseRuntime*> live;
+  for (auto& rt : runtimes_) live.push_back(&rt);
+
+  while (!live.empty() && !overall.expired()) {
+    const std::size_t phase_index = i % live.size();
+    const std::uint64_t turn = i / live.size() + 1;
+    ++i;
+    PhaseRuntime& phase = *live[phase_index];
+
+    if (!phase.started) activate_pending(phase);
+    if (phase.searcher->empty()) {
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(phase_index));
+      // Re-balance i so the rotation stays aligned after erasure.
+      if (!live.empty()) i = (i - 1) % live.size();
+      continue;
+    }
+
+    const std::uint64_t phase_start = clock_.now();
+    const std::uint64_t period = turn * options_.time_period_ticks;
+    std::uint64_t last_cover_epoch = executor_->coverage_epoch();
+    std::uint64_t last_cover_ticks = clock_.now();
+    const std::size_t bugs_before = executor_->bugs().size();
+
+    auto stop = [&]() {
+      if (executor_->coverage_epoch() != last_cover_epoch) {
+        last_cover_epoch = executor_->coverage_epoch();
+        last_cover_ticks = clock_.now();
+      }
+      // Keep running while within the period, or while still covering new
+      // code (Algorithm 3 line 15).
+      if (clock_.now() - phase_start <= period) return false;
+      return clock_.now() - last_cover_ticks > options_.no_new_cover_window;
+    };
+    phase.engine->run(overall, stop);
+
+    // Tag bugs found during this turn with the phase id.
+    for (std::size_t b = bugs_before; b < executor_->bugs().size(); ++b)
+      bug_phases_.push_back(phase.phase_id);
+
+    PBSE_LOG_DEBUG << "pbse phase " << phase.phase_id << " turn " << turn
+                   << ": states=" << phase.engine->num_states()
+                   << " covered=" << executor_->num_covered()
+                   << " clock=" << clock_.now();
+  }
+}
+
+}  // namespace pbse::core

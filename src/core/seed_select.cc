@@ -1,0 +1,54 @@
+#include "core/seed_select.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "concolic/concolic_executor.h"
+#include "solver/solver.h"
+#include "vm/executor.h"
+
+namespace pbse::core {
+
+std::size_t select_seed(const ir::Module& module, const std::string& entry,
+                        const std::vector<std::vector<std::uint8_t>>& seeds,
+                        std::vector<SeedScore>* scores_out,
+                        std::uint64_t max_instructions) {
+  assert(!seeds.empty());
+
+  // The 10 smallest seeds (stable on ties).
+  std::vector<std::size_t> order(seeds.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return seeds[a].size() < seeds[b].size();
+  });
+  if (order.size() > 10) order.resize(10);
+
+  std::vector<SeedScore> scores;
+  std::size_t best = order[0];
+  std::uint64_t best_cov = 0;
+  for (std::size_t index : order) {
+    // Fresh, throwaway measurement environment per candidate.
+    VClock clock;
+    Stats stats;
+    Solver solver(clock, stats);
+    vm::Executor executor(module, solver, clock, stats);
+    concolic::ConcolicOptions opts;
+    opts.record_trace = false;
+    opts.max_instructions = max_instructions;
+    const auto run = run_concolic(executor, entry, seeds[index], opts);
+    (void)run;
+    SeedScore score;
+    score.index = index;
+    score.size = seeds[index].size();
+    score.coverage = executor.num_covered();
+    scores.push_back(score);
+    if (score.coverage > best_cov) {
+      best_cov = score.coverage;
+      best = index;
+    }
+  }
+  if (scores_out != nullptr) *scores_out = std::move(scores);
+  return best;
+}
+
+}  // namespace pbse::core

@@ -1,0 +1,28 @@
+// Seed selection heuristic (paper Sec. III-B4): when multiple seeds are
+// available, consider only the 10 smallest and pick the one with the
+// highest concrete-execution coverage among those.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace pbse::core {
+
+struct SeedScore {
+  std::size_t index = 0;       // index into the input seed list
+  std::size_t size = 0;        // seed length in bytes
+  std::uint64_t coverage = 0;  // blocks covered by a concrete run
+};
+
+/// Scores every candidate (concrete run of `entry` on each seed, with an
+/// instruction cap) and applies the paper's heuristic. Returns the index of
+/// the chosen seed; `scores_out` (optional) receives all measured scores.
+std::size_t select_seed(const ir::Module& module, const std::string& entry,
+                        const std::vector<std::vector<std::uint8_t>>& seeds,
+                        std::vector<SeedScore>* scores_out = nullptr,
+                        std::uint64_t max_instructions = 2'000'000);
+
+}  // namespace pbse::core

@@ -1,0 +1,134 @@
+#include "expr/evaluator.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace pbse {
+
+namespace {
+
+/// Computes one node's value assuming every kid is already in `memo`.
+std::uint64_t eval_node(const Expr* e, const Assignment& a,
+                        const std::unordered_map<const Expr*, std::uint64_t>& memo) {
+  auto kid = [&memo, e](std::size_t i) { return memo.at(e->kid(i).get()); };
+  std::uint64_t r = 0;
+  switch (e->kind()) {
+    case ExprKind::kConstant:
+      r = e->constant_value();
+      break;
+    case ExprKind::kRead:
+      r = a.byte(e->array().get(), e->read_index());
+      break;
+    case ExprKind::kSelect:
+      r = kid(0) != 0 ? kid(1) : kid(2);
+      break;
+    case ExprKind::kConcat:
+      r = (kid(0) << e->kid(1)->width()) | kid(1);
+      break;
+    case ExprKind::kExtract:
+      r = kid(0) >> e->extract_offset();
+      break;
+    case ExprKind::kZExt:
+      r = kid(0);
+      break;
+    case ExprKind::kSExt:
+      r = static_cast<std::uint64_t>(sign_extend(kid(0), e->kid(0)->width()));
+      break;
+    case ExprKind::kNot:
+      r = ~kid(0);
+      break;
+    default: {
+      const std::uint64_t x = kid(0);
+      const std::uint64_t y = kid(1);
+      const unsigned ow = e->kid(0)->width();
+      const std::int64_t sx = sign_extend(x, ow);
+      const std::int64_t sy = sign_extend(y, ow);
+      switch (e->kind()) {
+        case ExprKind::kAdd: r = x + y; break;
+        case ExprKind::kSub: r = x - y; break;
+        case ExprKind::kMul: r = x * y; break;
+        case ExprKind::kUDiv: r = (y == 0) ? 0 : x / y; break;
+        case ExprKind::kSDiv:
+          r = (sy == 0) ? 0 : static_cast<std::uint64_t>(sx / sy);
+          break;
+        case ExprKind::kURem: r = (y == 0) ? 0 : x % y; break;
+        case ExprKind::kSRem:
+          r = (sy == 0) ? 0 : static_cast<std::uint64_t>(sx % sy);
+          break;
+        case ExprKind::kAnd: r = x & y; break;
+        case ExprKind::kOr: r = x | y; break;
+        case ExprKind::kXor: r = x ^ y; break;
+        case ExprKind::kShl: r = (y >= ow) ? 0 : x << y; break;
+        case ExprKind::kLShr: r = (y >= ow) ? 0 : x >> y; break;
+        case ExprKind::kAShr:
+          r = (y >= ow) ? static_cast<std::uint64_t>(sx < 0 ? -1 : 0)
+                        : static_cast<std::uint64_t>(sx >> y);
+          break;
+        case ExprKind::kEq: r = (x == y); break;
+        case ExprKind::kUlt: r = (x < y); break;
+        case ExprKind::kUle: r = (x <= y); break;
+        case ExprKind::kSlt: r = (sx < sy); break;
+        case ExprKind::kSle: r = (sx <= sy); break;
+        default: assert(false && "unhandled expr kind");
+      }
+      break;
+    }
+  }
+  return truncate_to_width(r, e->width());
+}
+
+/// Iterative post-order evaluation: expression chains (loop accumulators,
+/// checksums) reach depths far beyond the C++ stack, so no recursion.
+std::uint64_t eval_impl(const Expr* root, const Assignment& a,
+                        std::unordered_map<const Expr*, std::uint64_t>& memo) {
+  {
+    auto it = memo.find(root);
+    if (it != memo.end()) return it->second;
+  }
+  std::vector<std::pair<const Expr*, bool>> stack;
+  stack.emplace_back(root, false);
+  while (!stack.empty()) {
+    auto [e, expanded] = stack.back();
+    stack.pop_back();
+    if (memo.count(e) != 0) continue;
+    if (expanded) {
+      memo.emplace(e, eval_node(e, a, memo));
+      continue;
+    }
+    stack.emplace_back(e, true);
+    for (std::size_t i = 0; i < e->num_kids(); ++i) {
+      const Expr* k = e->kid(i).get();
+      if (memo.count(k) == 0) stack.emplace_back(k, false);
+    }
+  }
+  return memo.at(root);
+}
+
+}  // namespace
+
+std::uint64_t evaluate(const ExprRef& e, const Assignment& assignment) {
+  std::unordered_map<const Expr*, std::uint64_t> memo;
+  return eval_impl(e.get(), assignment, memo);
+}
+
+bool evaluate_bool(const ExprRef& e, const Assignment& assignment) {
+  assert(e->width() == 1);
+  return evaluate(e, assignment) != 0;
+}
+
+std::uint64_t CachingEvaluator::evaluate(const ExprRef& e) {
+  return eval_impl(e.get(), *assignment_, memo_);
+}
+
+std::size_t expr_cost(const ExprRef& e) {
+  // Hash-consing keeps nodes alive for the process, so a global memo keyed
+  // by node pointer is stable. Single-threaded by design.
+  static auto* memo = new std::unordered_map<const Expr*, std::size_t>();
+  auto it = memo->find(e.get());
+  if (it != memo->end()) return it->second;
+  const std::size_t cost = expr_dag_size(e);
+  memo->emplace(e.get(), cost);
+  return cost;
+}
+
+}  // namespace pbse

@@ -1,0 +1,522 @@
+#include "expr/expr.h"
+
+#include <cassert>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pbse {
+
+namespace {
+
+std::uint64_t width_mask(unsigned width) {
+  return width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+}
+
+std::size_t hash_combine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+std::uint64_t truncate_to_width(std::uint64_t v, unsigned width) {
+  return v & width_mask(width);
+}
+
+std::int64_t sign_extend(std::uint64_t v, unsigned width) {
+  assert(width >= 1 && width <= 64);
+  if (width == 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t sign_bit = std::uint64_t{1} << (width - 1);
+  v &= width_mask(width);
+  return static_cast<std::int64_t>((v ^ sign_bit) - sign_bit);
+}
+
+const char* expr_kind_name(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kConstant: return "Const";
+    case ExprKind::kRead: return "Read";
+    case ExprKind::kSelect: return "Select";
+    case ExprKind::kConcat: return "Concat";
+    case ExprKind::kExtract: return "Extract";
+    case ExprKind::kZExt: return "ZExt";
+    case ExprKind::kSExt: return "SExt";
+    case ExprKind::kNot: return "Not";
+    case ExprKind::kAdd: return "Add";
+    case ExprKind::kSub: return "Sub";
+    case ExprKind::kMul: return "Mul";
+    case ExprKind::kUDiv: return "UDiv";
+    case ExprKind::kSDiv: return "SDiv";
+    case ExprKind::kURem: return "URem";
+    case ExprKind::kSRem: return "SRem";
+    case ExprKind::kAnd: return "And";
+    case ExprKind::kOr: return "Or";
+    case ExprKind::kXor: return "Xor";
+    case ExprKind::kShl: return "Shl";
+    case ExprKind::kLShr: return "LShr";
+    case ExprKind::kAShr: return "AShr";
+    case ExprKind::kEq: return "Eq";
+    case ExprKind::kUlt: return "Ult";
+    case ExprKind::kUle: return "Ule";
+    case ExprKind::kSlt: return "Slt";
+    case ExprKind::kSle: return "Sle";
+  }
+  return "?";
+}
+
+Expr::Expr(ExprKind kind, unsigned width, std::uint64_t value, ArrayRef array,
+           std::vector<ExprRef> kids)
+    : kind_(kind),
+      width_(width),
+      value_(value),
+      array_(std::move(array)),
+      kids_(std::move(kids)) {
+  // Content-based hashing (array by name+size, kids by their own hashes):
+  // pointer addresses must never leak into hashes, because hash order
+  // feeds canonicalization and search tie-breaking, and determinism across
+  // runs and processes is a design goal.
+  std::size_t h = hash_combine(static_cast<std::size_t>(kind_), width_);
+  h = hash_combine(h, static_cast<std::size_t>(value_));
+  if (array_ != nullptr) {
+    h = hash_combine(h, std::hash<std::string>{}(array_->name()));
+    h = hash_combine(h, array_->size());
+  }
+  for (const auto& k : kids_) h = hash_combine(h, k->hash());
+  hash_ = h;
+}
+
+namespace {
+
+struct InternHash {
+  std::size_t operator()(const ExprRef& e) const { return e->hash(); }
+};
+
+struct InternEq {
+  bool operator()(const ExprRef& a, const ExprRef& b) const {
+    if (a->kind() != b->kind() || a->width() != b->width()) return false;
+    if (a->constant_value() != b->constant_value()) return false;
+    if (a->array().get() != b->array().get()) return false;
+    if (a->num_kids() != b->num_kids()) return false;
+    for (std::size_t i = 0; i < a->num_kids(); ++i)
+      if (a->kid(i).get() != b->kid(i).get()) return false;
+    return true;
+  }
+};
+
+// Process-global interning table. The engine is single-threaded; nodes are
+// kept alive for the process lifetime (they are tiny and heavily shared).
+std::unordered_set<ExprRef, InternHash, InternEq>& intern_table() {
+  static auto* table = new std::unordered_set<ExprRef, InternHash, InternEq>();
+  return *table;
+}
+
+ExprRef intern(ExprKind kind, unsigned width, std::uint64_t value,
+               ArrayRef array, std::vector<ExprRef> kids) {
+  auto node = std::make_shared<const Expr>(kind, width, value, std::move(array),
+                                           std::move(kids));
+  auto [it, inserted] = intern_table().insert(node);
+  return *it;
+}
+
+}  // namespace
+
+std::size_t intern_table_size() { return intern_table().size(); }
+
+bool expr_equal(const ExprRef& a, const ExprRef& b) {
+  if (a.get() == b.get()) return true;
+  if (!a || !b) return false;
+  return InternEq{}(a, b) ||
+         (a->hash() == b->hash() && a->to_string() == b->to_string());
+}
+
+// --- Builders -------------------------------------------------------------
+
+ExprRef mk_const(std::uint64_t value, unsigned width) {
+  assert(width >= 1 && width <= 64);
+  return intern(ExprKind::kConstant, width, truncate_to_width(value, width),
+                nullptr, {});
+}
+
+ExprRef mk_bool(bool v) { return mk_const(v ? 1 : 0, 1); }
+
+ExprRef mk_read(ArrayRef array, std::uint32_t index) {
+  assert(array != nullptr && index < array->size());
+  return intern(ExprKind::kRead, 8, index, std::move(array), {});
+}
+
+ExprRef mk_select(ExprRef cond, ExprRef then_e, ExprRef else_e) {
+  assert(cond->width() == 1 && then_e->width() == else_e->width());
+  if (cond->is_true()) return then_e;
+  if (cond->is_false()) return else_e;
+  if (expr_equal(then_e, else_e)) return then_e;
+  // select(c, 1, 0) over width-1 operands is just c.
+  if (then_e->width() == 1 && then_e->is_true() && else_e->is_false()) return cond;
+  if (then_e->width() == 1 && then_e->is_false() && else_e->is_true())
+    return mk_lnot(cond);
+  const unsigned w = then_e->width();
+  return intern(ExprKind::kSelect, w, 0, nullptr,
+                {std::move(cond), std::move(then_e), std::move(else_e)});
+}
+
+ExprRef mk_concat(ExprRef high, ExprRef low) {
+  const unsigned w = high->width() + low->width();
+  assert(w <= 64);
+  if (high->is_constant() && low->is_constant()) {
+    return mk_const((high->constant_value() << low->width()) |
+                        low->constant_value(),
+                    w);
+  }
+  // Concat of a constant zero high part is a zext.
+  if (high->is_constant() && high->constant_value() == 0)
+    return mk_zext(std::move(low), w);
+  // Reassembly of adjacent extracts of the same value folds back into one
+  // extract: Concat(Extract(X, o+k, a), Extract(X, o, k)) == Extract(X, o,
+  // a+k). This collapses load-after-store roundtrips to the stored value.
+  if (high->kind() == ExprKind::kExtract && low->kind() == ExprKind::kExtract &&
+      high->kid(0).get() == low->kid(0).get() &&
+      high->extract_offset() == low->extract_offset() + low->width()) {
+    return mk_extract(high->kid(0), low->extract_offset(), w);
+  }
+  return intern(ExprKind::kConcat, w, 0, nullptr, {std::move(high), std::move(low)});
+}
+
+ExprRef mk_extract(ExprRef e, unsigned offset, unsigned width) {
+  assert(offset + width <= e->width() && width >= 1);
+  if (offset == 0 && width == e->width()) return e;
+  if (e->is_constant()) return mk_const(e->constant_value() >> offset, width);
+  if (e->kind() == ExprKind::kConcat) {
+    const ExprRef& high = e->kid(0);
+    const ExprRef& low = e->kid(1);
+    if (offset + width <= low->width()) return mk_extract(low, offset, width);
+    if (offset >= low->width())
+      return mk_extract(high, offset - low->width(), width);
+  }
+  if (e->kind() == ExprKind::kZExt || e->kind() == ExprKind::kSExt) {
+    const ExprRef& src = e->kid(0);
+    if (offset + width <= src->width()) return mk_extract(src, offset, width);
+    if (e->kind() == ExprKind::kZExt && offset >= src->width())
+      return mk_const(0, width);
+  }
+  return intern(ExprKind::kExtract, width, offset, nullptr, {std::move(e)});
+}
+
+ExprRef mk_zext(ExprRef e, unsigned width) {
+  assert(width >= e->width() && width <= 64);
+  if (width == e->width()) return e;
+  if (e->is_constant()) return mk_const(e->constant_value(), width);
+  if (e->kind() == ExprKind::kZExt) return mk_zext(e->kid(0), width);
+  return intern(ExprKind::kZExt, width, 0, nullptr, {std::move(e)});
+}
+
+ExprRef mk_sext(ExprRef e, unsigned width) {
+  assert(width >= e->width() && width <= 64);
+  if (width == e->width()) return e;
+  if (e->is_constant())
+    return mk_const(static_cast<std::uint64_t>(
+                        sign_extend(e->constant_value(), e->width())),
+                    width);
+  return intern(ExprKind::kSExt, width, 0, nullptr, {std::move(e)});
+}
+
+ExprRef mk_not(ExprRef e) {
+  if (e->is_constant()) return mk_const(~e->constant_value(), e->width());
+  if (e->kind() == ExprKind::kNot) return e->kid(0);
+  const unsigned w = e->width();
+  return intern(ExprKind::kNot, w, 0, nullptr, {std::move(e)});
+}
+
+namespace {
+
+bool fold_binop(ExprKind kind, const ExprRef& a, const ExprRef& b,
+                std::uint64_t& out) {
+  if (!a->is_constant() || !b->is_constant()) return false;
+  const unsigned w = a->width();
+  const std::uint64_t x = a->constant_value();
+  const std::uint64_t y = b->constant_value();
+  const std::int64_t sx = sign_extend(x, w);
+  const std::int64_t sy = sign_extend(y, w);
+  switch (kind) {
+    case ExprKind::kAdd: out = x + y; break;
+    case ExprKind::kSub: out = x - y; break;
+    case ExprKind::kMul: out = x * y; break;
+    case ExprKind::kUDiv: out = (y == 0) ? 0 : x / y; break;
+    case ExprKind::kSDiv:
+      out = (sy == 0) ? 0 : static_cast<std::uint64_t>(sx / sy);
+      break;
+    case ExprKind::kURem: out = (y == 0) ? 0 : x % y; break;
+    case ExprKind::kSRem:
+      out = (sy == 0) ? 0 : static_cast<std::uint64_t>(sx % sy);
+      break;
+    case ExprKind::kAnd: out = x & y; break;
+    case ExprKind::kOr: out = x | y; break;
+    case ExprKind::kXor: out = x ^ y; break;
+    case ExprKind::kShl: out = (y >= w) ? 0 : x << y; break;
+    case ExprKind::kLShr: out = (y >= w) ? 0 : x >> y; break;
+    case ExprKind::kAShr:
+      out = (y >= w) ? static_cast<std::uint64_t>(sx < 0 ? -1 : 0)
+                     : static_cast<std::uint64_t>(sx >> y);
+      break;
+    case ExprKind::kEq: out = (x == y); break;
+    case ExprKind::kUlt: out = (x < y); break;
+    case ExprKind::kUle: out = (x <= y); break;
+    case ExprKind::kSlt: out = (sx < sy); break;
+    case ExprKind::kSle: out = (sx <= sy); break;
+    default: return false;
+  }
+  return true;
+}
+
+bool is_commutative(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kAdd:
+    case ExprKind::kMul:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kXor:
+    case ExprKind::kEq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+ExprRef mk_binop(ExprKind kind, ExprRef a, ExprRef b) {
+  assert(a->width() == b->width());
+  const unsigned operand_w = a->width();
+  const bool is_cmp = kind == ExprKind::kEq || kind == ExprKind::kUlt ||
+                      kind == ExprKind::kUle || kind == ExprKind::kSlt ||
+                      kind == ExprKind::kSle;
+  const unsigned result_w = is_cmp ? 1 : operand_w;
+  std::uint64_t folded;
+  if (fold_binop(kind, a, b, folded))
+    return mk_const(truncate_to_width(folded, result_w), result_w);
+  // Canonicalize commutative operators: constant operand on the right,
+  // otherwise order by hash so (a op b) and (b op a) intern identically.
+  if (is_commutative(kind)) {
+    if (a->is_constant() || (!b->is_constant() && a->hash() > b->hash()))
+      std::swap(a, b);
+  }
+  return intern(kind, result_w, 0, nullptr, {std::move(a), std::move(b)});
+}
+
+}  // namespace
+
+ExprRef mk_add(ExprRef a, ExprRef b) {
+  if (a->is_constant() && a->constant_value() == 0) return b;
+  if (b->is_constant() && b->constant_value() == 0) return a;
+  return mk_binop(ExprKind::kAdd, std::move(a), std::move(b));
+}
+
+ExprRef mk_sub(ExprRef a, ExprRef b) {
+  if (b->is_constant() && b->constant_value() == 0) return a;
+  if (expr_equal(a, b)) return mk_const(0, a->width());
+  return mk_binop(ExprKind::kSub, std::move(a), std::move(b));
+}
+
+ExprRef mk_mul(ExprRef a, ExprRef b) {
+  if (a->is_constant()) std::swap(a, b);
+  if (b->is_constant()) {
+    if (b->constant_value() == 0) return b;
+    if (b->constant_value() == 1) return a;
+  }
+  return mk_binop(ExprKind::kMul, std::move(a), std::move(b));
+}
+
+ExprRef mk_udiv(ExprRef a, ExprRef b) {
+  if (b->is_constant() && b->constant_value() == 1) return a;
+  return mk_binop(ExprKind::kUDiv, std::move(a), std::move(b));
+}
+
+ExprRef mk_sdiv(ExprRef a, ExprRef b) {
+  if (b->is_constant() && b->constant_value() == 1) return a;
+  return mk_binop(ExprKind::kSDiv, std::move(a), std::move(b));
+}
+
+ExprRef mk_urem(ExprRef a, ExprRef b) {
+  if (b->is_constant() && b->constant_value() == 1)
+    return mk_const(0, a->width());
+  return mk_binop(ExprKind::kURem, std::move(a), std::move(b));
+}
+
+ExprRef mk_srem(ExprRef a, ExprRef b) {
+  return mk_binop(ExprKind::kSRem, std::move(a), std::move(b));
+}
+
+ExprRef mk_and(ExprRef a, ExprRef b) {
+  if (a->is_constant()) std::swap(a, b);
+  if (b->is_constant()) {
+    if (b->constant_value() == 0) return b;
+    if (b->constant_value() == truncate_to_width(~std::uint64_t{0}, b->width()))
+      return a;
+  }
+  if (expr_equal(a, b)) return a;
+  return mk_binop(ExprKind::kAnd, std::move(a), std::move(b));
+}
+
+ExprRef mk_or(ExprRef a, ExprRef b) {
+  if (a->is_constant()) std::swap(a, b);
+  if (b->is_constant()) {
+    if (b->constant_value() == 0) return a;
+    if (b->constant_value() == truncate_to_width(~std::uint64_t{0}, b->width()))
+      return b;
+  }
+  if (expr_equal(a, b)) return a;
+  return mk_binop(ExprKind::kOr, std::move(a), std::move(b));
+}
+
+ExprRef mk_xor(ExprRef a, ExprRef b) {
+  if (a->is_constant()) std::swap(a, b);
+  if (b->is_constant() && b->constant_value() == 0) return a;
+  if (expr_equal(a, b)) return mk_const(0, a->width());
+  return mk_binop(ExprKind::kXor, std::move(a), std::move(b));
+}
+
+ExprRef mk_shl(ExprRef a, ExprRef b) {
+  if (b->is_constant() && b->constant_value() == 0) return a;
+  return mk_binop(ExprKind::kShl, std::move(a), std::move(b));
+}
+
+ExprRef mk_lshr(ExprRef a, ExprRef b) {
+  if (b->is_constant() && b->constant_value() == 0) return a;
+  return mk_binop(ExprKind::kLShr, std::move(a), std::move(b));
+}
+
+ExprRef mk_ashr(ExprRef a, ExprRef b) {
+  if (b->is_constant() && b->constant_value() == 0) return a;
+  return mk_binop(ExprKind::kAShr, std::move(a), std::move(b));
+}
+
+ExprRef mk_eq(ExprRef a, ExprRef b) {
+  if (expr_equal(a, b)) return mk_bool(true);
+  // Eq(x, true/false) on width-1 collapses to x / not x.
+  if (a->width() == 1) {
+    if (a->is_true()) return b;
+    if (a->is_false()) return mk_lnot(b);
+    if (b->is_true()) return a;
+    if (b->is_false()) return mk_lnot(a);
+  }
+  return mk_binop(ExprKind::kEq, std::move(a), std::move(b));
+}
+
+ExprRef mk_ne(ExprRef a, ExprRef b) { return mk_lnot(mk_eq(std::move(a), std::move(b))); }
+
+ExprRef mk_ult(ExprRef a, ExprRef b) {
+  if (expr_equal(a, b)) return mk_bool(false);
+  if (b->is_constant() && b->constant_value() == 0) return mk_bool(false);
+  return mk_binop(ExprKind::kUlt, std::move(a), std::move(b));
+}
+
+ExprRef mk_ule(ExprRef a, ExprRef b) {
+  if (expr_equal(a, b)) return mk_bool(true);
+  if (a->is_constant() && a->constant_value() == 0) return mk_bool(true);
+  return mk_binop(ExprKind::kUle, std::move(a), std::move(b));
+}
+
+ExprRef mk_ugt(ExprRef a, ExprRef b) { return mk_ult(std::move(b), std::move(a)); }
+ExprRef mk_uge(ExprRef a, ExprRef b) { return mk_ule(std::move(b), std::move(a)); }
+
+ExprRef mk_slt(ExprRef a, ExprRef b) {
+  if (expr_equal(a, b)) return mk_bool(false);
+  return mk_binop(ExprKind::kSlt, std::move(a), std::move(b));
+}
+
+ExprRef mk_sle(ExprRef a, ExprRef b) {
+  if (expr_equal(a, b)) return mk_bool(true);
+  return mk_binop(ExprKind::kSle, std::move(a), std::move(b));
+}
+
+ExprRef mk_sgt(ExprRef a, ExprRef b) { return mk_slt(std::move(b), std::move(a)); }
+ExprRef mk_sge(ExprRef a, ExprRef b) { return mk_sle(std::move(b), std::move(a)); }
+
+ExprRef mk_lnot(ExprRef e) {
+  assert(e->width() == 1);
+  if (e->is_constant()) return mk_bool(e->constant_value() == 0);
+  // De-double-negate via Eq(e, false) normal form: Not over width-1 is Xor 1.
+  if (e->kind() == ExprKind::kXor && e->kid(1)->is_true()) return e->kid(0);
+  // Invert comparisons directly where an inverse kind exists.
+  switch (e->kind()) {
+    case ExprKind::kUlt: return mk_ule(e->kid(1), e->kid(0));
+    case ExprKind::kUle: return mk_ult(e->kid(1), e->kid(0));
+    case ExprKind::kSlt: return mk_sle(e->kid(1), e->kid(0));
+    case ExprKind::kSle: return mk_slt(e->kid(1), e->kid(0));
+    default: break;
+  }
+  return mk_binop(ExprKind::kXor, std::move(e), mk_bool(true));
+}
+
+ExprRef mk_land(ExprRef a, ExprRef b) {
+  assert(a->width() == 1 && b->width() == 1);
+  return mk_and(std::move(a), std::move(b));
+}
+
+ExprRef mk_lor(ExprRef a, ExprRef b) {
+  assert(a->width() == 1 && b->width() == 1);
+  return mk_or(std::move(a), std::move(b));
+}
+
+// --- Traversals -----------------------------------------------------------
+
+void collect_reads(const ExprRef& e, std::vector<ReadSite>& out) {
+  // Iterative: chains can be deeper than the C++ stack allows.
+  std::unordered_set<const Expr*> seen;
+  std::vector<const Expr*> stack{e.get()};
+  while (!stack.empty()) {
+    const Expr* node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node).second) continue;
+    if (node->kind() == ExprKind::kRead) {
+      out.push_back(ReadSite{node->array(), node->read_index()});
+      continue;
+    }
+    for (std::size_t i = 0; i < node->num_kids(); ++i)
+      stack.push_back(node->kid(i).get());
+  }
+}
+
+const std::vector<ReadSite>& cached_reads(const ExprRef& e) {
+  static auto* memo =
+      new std::unordered_map<const Expr*, std::vector<ReadSite>>();
+  auto it = memo->find(e.get());
+  if (it != memo->end()) return it->second;
+  std::vector<ReadSite> reads;
+  collect_reads(e, reads);
+  return memo->emplace(e.get(), std::move(reads)).first->second;
+}
+
+std::size_t expr_dag_size(const ExprRef& e) {
+  std::unordered_set<const Expr*> seen;
+  std::vector<const Expr*> stack{e.get()};
+  while (!stack.empty()) {
+    const Expr* node = stack.back();
+    stack.pop_back();
+    if (!seen.insert(node).second) continue;
+    for (std::size_t i = 0; i < node->num_kids(); ++i)
+      stack.push_back(node->kid(i).get());
+  }
+  return seen.size();
+}
+
+std::string Expr::to_string() const {
+  std::ostringstream out;
+  switch (kind_) {
+    case ExprKind::kConstant:
+      out << value_ << ":w" << width_;
+      break;
+    case ExprKind::kRead:
+      out << "(Read " << array_->name() << ' ' << value_ << ')';
+      break;
+    case ExprKind::kExtract:
+      out << "(Extract w" << width_ << " off" << value_ << ' '
+          << kids_[0]->to_string() << ')';
+      break;
+    default: {
+      out << '(' << expr_kind_name(kind_) << " w" << width_;
+      for (const auto& k : kids_) out << ' ' << k->to_string();
+      out << ')';
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace pbse

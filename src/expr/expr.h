@@ -1,0 +1,200 @@
+// Symbolic bitvector expressions — the analog of KLEE's Expr library.
+//
+// Expressions are immutable, hash-consed DAG nodes over:
+//   * constants of 1..64 bits,
+//   * byte reads from named symbolic arrays (the symbolic input file),
+//   * the usual arithmetic / bitwise / comparison / cast operators.
+//
+// Hash-consing makes structural equality a pointer comparison, which the
+// solver caches rely on. Construction performs constant folding and a set
+// of local simplifications, so the engine can build expressions naively.
+//
+// The engine is single-threaded; the interning table is process-global and
+// unsynchronized by design.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pbse {
+
+class Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+/// A named symbolic byte array, e.g. the symbolic input file "file".
+/// Arrays are compared by identity; create one per symbolic object.
+class Array {
+ public:
+  Array(std::string name, std::uint32_t size)
+      : name_(std::move(name)), size_(size) {}
+
+  const std::string& name() const { return name_; }
+  std::uint32_t size() const { return size_; }
+
+ private:
+  std::string name_;
+  std::uint32_t size_;
+};
+
+using ArrayRef = std::shared_ptr<const Array>;
+
+enum class ExprKind : std::uint8_t {
+  kConstant,
+  kRead,     // byte read from a symbolic array at a concrete index
+  kSelect,   // ite(cond, then, else)
+  kConcat,   // high ++ low
+  kExtract,  // bits [offset, offset+width) of the operand
+  kZExt,
+  kSExt,
+  kNot,      // bitwise not
+  kAdd,
+  kSub,
+  kMul,
+  kUDiv,
+  kSDiv,
+  kURem,
+  kSRem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kLShr,
+  kAShr,
+  kEq,   // width-1 result
+  kUlt,
+  kUle,
+  kSlt,
+  kSle,
+};
+
+/// Returns a printable operator name ("Add", "Eq", ...).
+const char* expr_kind_name(ExprKind kind);
+
+/// Immutable expression node. Always held via ExprRef; construct through
+/// the mk_* builder functions below (which fold and intern).
+class Expr {
+ public:
+  ExprKind kind() const { return kind_; }
+  /// Bit width of the value this expression denotes (1..64).
+  unsigned width() const { return width_; }
+
+  bool is_constant() const { return kind_ == ExprKind::kConstant; }
+  /// Constant value, valid only when is_constant(). Zero-extended to 64 bits.
+  std::uint64_t constant_value() const { return value_; }
+  /// True if this is the width-1 constant 1 / 0.
+  bool is_true() const { return is_constant() && width_ == 1 && value_ == 1; }
+  bool is_false() const { return is_constant() && width_ == 1 && value_ == 0; }
+
+  /// Read node accessors (valid only when kind() == kRead).
+  const ArrayRef& array() const { return array_; }
+  std::uint32_t read_index() const { return static_cast<std::uint32_t>(value_); }
+
+  /// Extract offset (valid only when kind() == kExtract).
+  unsigned extract_offset() const { return static_cast<unsigned>(value_); }
+
+  std::size_t num_kids() const { return kids_.size(); }
+  const ExprRef& kid(std::size_t i) const { return kids_[i]; }
+
+  /// Structural hash, cached at construction.
+  std::size_t hash() const { return hash_; }
+
+  /// Renders the expression as an s-expression, e.g. "(Add w8 (Read file 3) 1)".
+  std::string to_string() const;
+
+  // Internal: used by the interner. Prefer the mk_* functions.
+  Expr(ExprKind kind, unsigned width, std::uint64_t value, ArrayRef array,
+       std::vector<ExprRef> kids);
+
+ private:
+  ExprKind kind_;
+  unsigned width_;
+  std::uint64_t value_;  // constant value / read index / extract offset
+  ArrayRef array_;
+  std::vector<ExprRef> kids_;
+  std::size_t hash_;
+};
+
+/// True if `a` and `b` are structurally identical (pointer equality thanks
+/// to hash-consing, with a structural fallback).
+bool expr_equal(const ExprRef& a, const ExprRef& b);
+
+// --- Width arithmetic helpers -------------------------------------------
+
+/// Masks `v` down to `width` bits.
+std::uint64_t truncate_to_width(std::uint64_t v, unsigned width);
+/// Interprets the low `width` bits of `v` as signed and sign-extends to 64.
+std::int64_t sign_extend(std::uint64_t v, unsigned width);
+
+// --- Builders ------------------------------------------------------------
+// All builders constant-fold when possible and apply local rewrites.
+
+ExprRef mk_const(std::uint64_t value, unsigned width);
+ExprRef mk_bool(bool v);
+/// One byte (width 8) read from `array` at concrete index `index`.
+ExprRef mk_read(ArrayRef array, std::uint32_t index);
+ExprRef mk_select(ExprRef cond, ExprRef then_e, ExprRef else_e);
+/// Concatenation: result width = high.width + low.width (<= 64).
+ExprRef mk_concat(ExprRef high, ExprRef low);
+ExprRef mk_extract(ExprRef e, unsigned offset, unsigned width);
+ExprRef mk_zext(ExprRef e, unsigned width);
+ExprRef mk_sext(ExprRef e, unsigned width);
+ExprRef mk_not(ExprRef e);
+
+ExprRef mk_add(ExprRef a, ExprRef b);
+ExprRef mk_sub(ExprRef a, ExprRef b);
+ExprRef mk_mul(ExprRef a, ExprRef b);
+/// Unsigned/signed division and remainder. Division by constant zero is the
+/// caller's responsibility to guard (the VM forks a div-by-zero check
+/// first); folding x/0 yields 0 to keep the evaluator total.
+ExprRef mk_udiv(ExprRef a, ExprRef b);
+ExprRef mk_sdiv(ExprRef a, ExprRef b);
+ExprRef mk_urem(ExprRef a, ExprRef b);
+ExprRef mk_srem(ExprRef a, ExprRef b);
+ExprRef mk_and(ExprRef a, ExprRef b);
+ExprRef mk_or(ExprRef a, ExprRef b);
+ExprRef mk_xor(ExprRef a, ExprRef b);
+ExprRef mk_shl(ExprRef a, ExprRef b);
+ExprRef mk_lshr(ExprRef a, ExprRef b);
+ExprRef mk_ashr(ExprRef a, ExprRef b);
+
+// Comparisons produce width-1 expressions.
+ExprRef mk_eq(ExprRef a, ExprRef b);
+ExprRef mk_ne(ExprRef a, ExprRef b);
+ExprRef mk_ult(ExprRef a, ExprRef b);
+ExprRef mk_ule(ExprRef a, ExprRef b);
+ExprRef mk_ugt(ExprRef a, ExprRef b);
+ExprRef mk_uge(ExprRef a, ExprRef b);
+ExprRef mk_slt(ExprRef a, ExprRef b);
+ExprRef mk_sle(ExprRef a, ExprRef b);
+ExprRef mk_sgt(ExprRef a, ExprRef b);
+ExprRef mk_sge(ExprRef a, ExprRef b);
+
+/// Logical negation of a width-1 expression.
+ExprRef mk_lnot(ExprRef e);
+/// Logical and/or of width-1 expressions (no short-circuit semantics here;
+/// the frontend lowers && / || to control flow).
+ExprRef mk_land(ExprRef a, ExprRef b);
+ExprRef mk_lor(ExprRef a, ExprRef b);
+
+/// Collects the distinct (array, index) byte reads appearing in `e`,
+/// appending to `out` (deduplicated). Used by the solver's independence
+/// slicing and the backtracking search.
+struct ReadSite {
+  ArrayRef array;
+  std::uint32_t index;
+};
+void collect_reads(const ExprRef& e, std::vector<ReadSite>& out);
+
+/// Memoized variant: the deduplicated read sites of `e`, cached
+/// process-globally by node identity (hash-consing keeps nodes alive).
+const std::vector<ReadSite>& cached_reads(const ExprRef& e);
+
+/// Number of nodes in the DAG (each shared node counted once).
+std::size_t expr_dag_size(const ExprRef& e);
+
+/// Interner statistics (for tests / benches).
+std::size_t intern_table_size();
+
+}  // namespace pbse

@@ -1,0 +1,208 @@
+#include "ir/builder.h"
+
+namespace pbse::ir {
+
+Instruction& Builder::append(Instruction inst) {
+  inst.line = line_;
+  auto& insts = fn_.block(bb_).insts;
+  insts.push_back(std::move(inst));
+  return insts.back();
+}
+
+bool Builder::block_terminated() const {
+  const auto& insts = fn_.block(bb_).insts;
+  return !insts.empty() && insts.back().is_terminator();
+}
+
+Operand Builder::emit_alloca(std::uint64_t size) {
+  Instruction inst;
+  inst.op = Opcode::kAlloca;
+  inst.alloca_size = size;
+  inst.result = fn_.new_reg(Type::ptr_ty());
+  append(std::move(inst));
+  return Operand::reg_of(fn_.num_regs() - 1, Type::ptr_ty());
+}
+
+Operand Builder::emit_load(Operand ptr, unsigned width) {
+  assert(ptr.type.is_ptr());
+  Instruction inst;
+  inst.op = Opcode::kLoad;
+  inst.width = width;
+  inst.ops = {ptr};
+  inst.result = fn_.new_reg(Type::int_ty(width));
+  append(std::move(inst));
+  return Operand::reg_of(fn_.num_regs() - 1, Type::int_ty(width));
+}
+
+void Builder::emit_store(Operand ptr, Operand value) {
+  assert(ptr.type.is_ptr() && value.type.is_int());
+  Instruction inst;
+  inst.op = Opcode::kStore;
+  inst.ops = {ptr, value};
+  append(std::move(inst));
+}
+
+Operand Builder::emit_gep(Operand ptr, Operand offset_bytes) {
+  assert(ptr.type.is_ptr() && offset_bytes.type.is_int());
+  Instruction inst;
+  inst.op = Opcode::kGep;
+  inst.ops = {ptr, offset_bytes};
+  inst.result = fn_.new_reg(Type::ptr_ty());
+  append(std::move(inst));
+  return Operand::reg_of(fn_.num_regs() - 1, Type::ptr_ty());
+}
+
+Operand Builder::emit_bin(BinOp op, Operand a, Operand b) {
+  assert(a.type.is_int() && a.type == b.type);
+  Instruction inst;
+  inst.op = Opcode::kBin;
+  inst.bin = op;
+  inst.width = a.type.width;
+  inst.ops = {a, b};
+  inst.result = fn_.new_reg(a.type);
+  append(std::move(inst));
+  return Operand::reg_of(fn_.num_regs() - 1, a.type);
+}
+
+Operand Builder::emit_cmp(CmpPred pred, Operand a, Operand b) {
+  assert(a.type == b.type);
+  Instruction inst;
+  inst.op = Opcode::kCmp;
+  inst.pred = pred;
+  inst.width = 1;
+  inst.ops = {a, b};
+  inst.result = fn_.new_reg(Type::int_ty(1));
+  append(std::move(inst));
+  return Operand::reg_of(fn_.num_regs() - 1, Type::int_ty(1));
+}
+
+Operand Builder::emit_cast(CastOp op, Operand v, unsigned width) {
+  assert(v.type.is_int());
+  if (v.type.width == width) return v;
+  Instruction inst;
+  inst.op = Opcode::kCast;
+  inst.cast = op;
+  inst.width = width;
+  inst.ops = {v};
+  inst.result = fn_.new_reg(Type::int_ty(width));
+  append(std::move(inst));
+  return Operand::reg_of(fn_.num_regs() - 1, Type::int_ty(width));
+}
+
+Operand Builder::emit_select(Operand cond, Operand a, Operand b) {
+  assert(cond.type == Type::int_ty(1) && a.type == b.type);
+  Instruction inst;
+  inst.op = Opcode::kSelect;
+  inst.width = a.type.width;
+  inst.ops = {cond, a, b};
+  inst.result = fn_.new_reg(a.type);
+  append(std::move(inst));
+  return Operand::reg_of(fn_.num_regs() - 1, a.type);
+}
+
+void Builder::emit_br(Operand cond, std::uint32_t then_bb,
+                      std::uint32_t else_bb) {
+  assert(cond.type == Type::int_ty(1));
+  Instruction inst;
+  inst.op = Opcode::kBr;
+  inst.ops = {cond};
+  inst.bb_then = then_bb;
+  inst.bb_else = else_bb;
+  append(std::move(inst));
+}
+
+void Builder::emit_jmp(std::uint32_t target) {
+  Instruction inst;
+  inst.op = Opcode::kJmp;
+  inst.bb_then = target;
+  append(std::move(inst));
+}
+
+Operand Builder::emit_call(std::uint32_t callee,
+                           std::initializer_list<Operand> args) {
+  return emit_call(callee, std::vector<Operand>(args));
+}
+
+Operand Builder::emit_call(std::uint32_t callee,
+                           const std::vector<Operand>& args) {
+  const Function* target = module_.function(callee);
+  assert(target->params().size() == args.size());
+  Instruction inst;
+  inst.op = Opcode::kCall;
+  inst.callee = callee;
+  inst.ops = args;
+  const Type ret = target->ret_type();
+  if (!ret.is_void()) {
+    inst.width = ret.width;
+    inst.result = fn_.new_reg(ret);
+  }
+  append(std::move(inst));
+  if (ret.is_void()) return Operand::none();
+  return Operand::reg_of(fn_.num_regs() - 1, ret);
+}
+
+void Builder::emit_ret(Operand value) {
+  Instruction inst;
+  inst.op = Opcode::kRet;
+  inst.ops = {value};
+  append(std::move(inst));
+}
+
+void Builder::emit_ret_void() {
+  Instruction inst;
+  inst.op = Opcode::kRet;
+  append(std::move(inst));
+}
+
+void Builder::emit_unreachable() {
+  Instruction inst;
+  inst.op = Opcode::kUnreachable;
+  append(std::move(inst));
+}
+
+Operand Builder::emit_intrinsic(Intrinsic which,
+                                const std::vector<Operand>& args,
+                                unsigned result_width) {
+  Instruction inst;
+  inst.op = Opcode::kIntrinsic;
+  inst.intrinsic = which;
+  inst.ops = args;
+  if (result_width > 0) {
+    inst.width = result_width;
+    inst.result = fn_.new_reg(Type::int_ty(result_width));
+  }
+  append(std::move(inst));
+  if (result_width == 0) return Operand::none();
+  return Operand::reg_of(fn_.num_regs() - 1, Type::int_ty(result_width));
+}
+
+Operand Builder::emit_slot_get(std::uint32_t slot) {
+  assert(slot < fn_.num_slots());
+  Instruction inst;
+  inst.op = Opcode::kSlotGet;
+  inst.slot = slot;
+  inst.result = fn_.new_reg(Type::ptr_ty());
+  append(std::move(inst));
+  return Operand::reg_of(fn_.num_regs() - 1, Type::ptr_ty());
+}
+
+void Builder::emit_slot_set(std::uint32_t slot, Operand value) {
+  assert(slot < fn_.num_slots() && value.type.is_ptr());
+  Instruction inst;
+  inst.op = Opcode::kSlotSet;
+  inst.slot = slot;
+  inst.ops = {value};
+  append(std::move(inst));
+}
+
+Operand Builder::emit_global_addr(std::uint32_t global_index) {
+  assert(global_index < module_.num_globals());
+  Instruction inst;
+  inst.op = Opcode::kGlobalAddr;
+  inst.slot = global_index;
+  inst.result = fn_.new_reg(Type::ptr_ty());
+  append(std::move(inst));
+  return Operand::reg_of(fn_.num_regs() - 1, Type::ptr_ty());
+}
+
+}  // namespace pbse::ir

@@ -1,0 +1,67 @@
+// Instruction-emission helper used by the MiniC code generator and by
+// tests that hand-construct IR.
+#pragma once
+
+#include <cassert>
+#include <initializer_list>
+
+#include "ir/ir.h"
+
+namespace pbse::ir {
+
+/// Appends instructions to a current insertion block, allocating result
+/// registers and checking operand types as it goes.
+class Builder {
+ public:
+  Builder(Module& module, Function& fn) : module_(module), fn_(fn) {}
+
+  Module& module() { return module_; }
+  Function& fn() { return fn_; }
+
+  void set_insert(std::uint32_t bb) { bb_ = bb; }
+  std::uint32_t insert_block() const { return bb_; }
+  /// Sets the source line attached to subsequently emitted instructions.
+  void set_line(std::uint32_t line) { line_ = line; }
+
+  /// True if the current block already ends in a terminator (emission after
+  /// that would be dead; codegen uses this to skip).
+  bool block_terminated() const;
+
+  Operand emit_alloca(std::uint64_t size);
+  Operand emit_load(Operand ptr, unsigned width);
+  void emit_store(Operand ptr, Operand value);
+  Operand emit_gep(Operand ptr, Operand offset_bytes);
+  Operand emit_bin(BinOp op, Operand a, Operand b);
+  Operand emit_cmp(CmpPred pred, Operand a, Operand b);
+  Operand emit_cast(CastOp op, Operand v, unsigned width);
+  Operand emit_select(Operand cond, Operand a, Operand b);
+  void emit_br(Operand cond, std::uint32_t then_bb, std::uint32_t else_bb);
+  void emit_jmp(std::uint32_t target);
+  /// Emits a call; returns the result operand (none for void callees).
+  Operand emit_call(std::uint32_t callee, std::initializer_list<Operand> args);
+  Operand emit_call(std::uint32_t callee, const std::vector<Operand>& args);
+  void emit_ret(Operand value);
+  void emit_ret_void();
+  void emit_unreachable();
+  /// Emits an intrinsic; returns result operand for value-producing ones.
+  Operand emit_intrinsic(Intrinsic which, const std::vector<Operand>& args,
+                         unsigned result_width = 0);
+  Operand emit_slot_get(std::uint32_t slot);
+  void emit_slot_set(std::uint32_t slot, Operand value);
+  Operand emit_global_addr(std::uint32_t global_index);
+
+  /// Convenience: integer constant operand.
+  static Operand c(std::uint64_t v, unsigned width) {
+    return Operand::constant(v, width);
+  }
+
+ private:
+  Instruction& append(Instruction inst);
+
+  Module& module_;
+  Function& fn_;
+  std::uint32_t bb_ = 0;
+  std::uint32_t line_ = 0;
+};
+
+}  // namespace pbse::ir

@@ -1,0 +1,87 @@
+#include "ir/ir.h"
+
+#include <cassert>
+
+namespace pbse::ir {
+
+std::string Type::to_string() const {
+  switch (kind) {
+    case Kind::kInt: return "i" + std::to_string(width);
+    case Kind::kPtr: return "ptr";
+    case Kind::kVoid: return "void";
+  }
+  return "?";
+}
+
+Operand Operand::constant(std::uint64_t v, unsigned width) {
+  Operand o;
+  o.kind = Kind::kConst;
+  o.type = Type::int_ty(width);
+  o.cval = width >= 64 ? v : (v & ((std::uint64_t{1} << width) - 1));
+  return o;
+}
+
+Operand Operand::reg_of(std::uint32_t reg, Type type) {
+  Operand o;
+  o.kind = Kind::kReg;
+  o.type = type;
+  o.reg = reg;
+  return o;
+}
+
+std::uint32_t Function::add_block(std::string label) {
+  BasicBlock bb;
+  bb.id = static_cast<std::uint32_t>(blocks_.size());
+  bb.label = std::move(label);
+  blocks_.push_back(std::move(bb));
+  return blocks_.back().id;
+}
+
+std::uint32_t Module::add_function(std::unique_ptr<Function> fn) {
+  assert(!finalized_);
+  const auto index = static_cast<std::uint32_t>(functions_.size());
+  fn->set_index(index);
+  function_index_[fn->name()] = index;
+  functions_.push_back(std::move(fn));
+  return index;
+}
+
+Function* Module::function_by_name(const std::string& name) {
+  auto it = function_index_.find(name);
+  return it == function_index_.end() ? nullptr : functions_[it->second].get();
+}
+
+const Function* Module::function_by_name(const std::string& name) const {
+  auto it = function_index_.find(name);
+  return it == function_index_.end() ? nullptr : functions_[it->second].get();
+}
+
+std::uint32_t Module::add_global(Global g) {
+  assert(!finalized_);
+  const auto index = static_cast<std::uint32_t>(globals_.size());
+  g.init.resize(g.size, 0);
+  global_index_[g.name] = index;
+  globals_.push_back(std::move(g));
+  return index;
+}
+
+std::uint32_t Module::global_index(const std::string& name) const {
+  auto it = global_index_.find(name);
+  return it == global_index_.end() ? kNoFunc : it->second;
+}
+
+void Module::finalize() {
+  assert(!finalized_);
+  std::uint32_t next = 0;
+  for (std::uint32_t fi = 0; fi < functions_.size(); ++fi) {
+    Function& fn = *functions_[fi];
+    for (std::uint32_t bi = 0; bi < fn.num_blocks(); ++bi) {
+      fn.block(bi).global_id = next++;
+      block_locations_.emplace_back(fi, bi);
+    }
+  }
+  total_blocks_ = next;
+  finalized_ = true;
+}
+
+}  // namespace pbse::ir

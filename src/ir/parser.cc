@@ -1,0 +1,495 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace pbse::ir {
+
+namespace {
+
+/// Line-oriented token cursor.
+struct Cursor {
+  std::string line;
+  std::size_t pos = 0;
+  std::uint32_t line_no = 0;
+
+  void skip_ws() {
+    while (pos < line.size() && std::isspace(static_cast<unsigned char>(line[pos])))
+      ++pos;
+  }
+  bool done() {
+    skip_ws();
+    return pos >= line.size();
+  }
+  bool eat(const std::string& word) {
+    skip_ws();
+    if (line.compare(pos, word.size(), word) == 0) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+  bool number(std::uint64_t& out) {
+    skip_ws();
+    if (pos >= line.size() || !std::isdigit(static_cast<unsigned char>(line[pos])))
+      return false;
+    out = 0;
+    while (pos < line.size() && std::isdigit(static_cast<unsigned char>(line[pos])))
+      out = out * 10 + static_cast<std::uint64_t>(line[pos++] - '0');
+    return true;
+  }
+  std::string ident() {
+    skip_ws();
+    std::string word;
+    while (pos < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[pos])) ||
+            line[pos] == '_' || line[pos] == '.' || line[pos] == '-'))
+      word += line[pos++];
+    return word;
+  }
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, Module& module, std::string& error)
+      : module_(module), error_(error) {
+    std::istringstream stream(text);
+    std::string line;
+    while (std::getline(stream, line)) {
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      lines_.push_back(std::move(line));
+    }
+  }
+
+  bool run() {
+    if (!declare_pass()) return false;
+    return body_pass();
+  }
+
+ private:
+  bool fail(std::uint32_t line_no, const std::string& msg) {
+    if (error_.empty())
+      error_ = "line " + std::to_string(line_no + 1) + ": " + msg;
+    return false;
+  }
+
+  static bool parse_type(Cursor& c, Type& out) {
+    c.skip_ws();
+    if (c.eat("void")) {
+      out = Type::void_ty();
+      return true;
+    }
+    if (c.eat("ptr")) {
+      out = Type::ptr_ty();
+      return true;
+    }
+    if (c.eat("i")) {
+      std::uint64_t width = 0;
+      if (!c.number(width) || width == 0 || width > 64) return false;
+      out = Type::int_ty(static_cast<unsigned>(width));
+      return true;
+    }
+    return false;
+  }
+
+  // --- pass 1: globals + function signatures -----------------------------
+
+  bool declare_pass() {
+    for (std::uint32_t i = 0; i < lines_.size(); ++i) {
+      Cursor c{lines_[i], 0, i};
+      if (c.done()) continue;
+      if (c.eat("global")) {
+        Global g;
+        g.name = c.ident();
+        if (g.name.empty()) return fail(i, "global needs a name");
+        std::uint64_t size = 0;
+        if (!c.eat("[") || !c.number(size) || !c.eat("]"))
+          return fail(i, "global needs [size]");
+        g.size = size;
+        g.writable = !c.eat("const");
+        if (c.eat("=")) {
+          std::uint64_t byte = 0;
+          while (c.number(byte))
+            g.init.push_back(static_cast<std::uint8_t>(byte));
+        }
+        if (!c.done()) return fail(i, "trailing characters after global");
+        module_.add_global(std::move(g));
+        continue;
+      }
+      if (c.eat("fn")) {
+        const std::string name = c.ident();
+        if (name.empty() || !c.eat("("))
+          return fail(i, "fn needs a name and parameter list");
+        std::vector<Type> params;
+        if (!c.eat(")")) {
+          do {
+            Type t;
+            if (!parse_type(c, t) || t.is_void())
+              return fail(i, "bad parameter type");
+            params.push_back(t);
+          } while (c.eat(","));
+          if (!c.eat(")")) return fail(i, "expected ')'");
+        }
+        Type ret;
+        if (!c.eat("->") || !parse_type(c, ret))
+          return fail(i, "fn needs '-> <type>'");
+        if (!c.eat("{")) return fail(i, "fn needs '{'");
+        auto fn = std::make_unique<Function>(name, params, ret);
+        for (const Type& p : params) fn->new_reg(p);
+        fn_lines_.push_back(i);
+        module_.add_function(std::move(fn));
+      }
+    }
+    return true;
+  }
+
+  // --- operands ------------------------------------------------------------
+
+  bool parse_operand(Cursor& c, Function& fn, Operand& out) {
+    c.skip_ws();
+    if (c.eat("none")) {
+      out = Operand::none();
+      return true;
+    }
+    if (c.eat("null")) {
+      out.kind = Operand::Kind::kConst;
+      out.type = Type::ptr_ty();
+      out.cval = 0;
+      return true;
+    }
+    if (c.eat("%")) {
+      std::uint64_t reg = 0;
+      if (!c.number(reg) || reg >= fn.num_regs()) return false;
+      out = Operand::reg_of(static_cast<std::uint32_t>(reg),
+                            fn.reg_type(static_cast<std::uint32_t>(reg)));
+      return true;
+    }
+    std::uint64_t value = 0;
+    if (!c.number(value)) return false;
+    if (!c.eat(":i")) return false;
+    std::uint64_t width = 0;
+    if (!c.number(width) || width == 0 || width > 64) return false;
+    out = Operand::constant(value, static_cast<unsigned>(width));
+    return true;
+  }
+
+  /// "%N = " prefix. Register numbers are NOT textually ordered (the
+  /// code generator emits nested blocks before loop-step blocks), so
+  /// missing registers are allocated on demand with a placeholder type and
+  /// re-typed when their definition is parsed.
+  bool parse_result(Cursor& c, Function& fn, bool& has_result,
+                    std::uint64_t& reg) {
+    Cursor save = c;
+    if (c.eat("%")) {
+      if (c.number(reg) && c.eat("=")) {
+        has_result = true;
+        while (fn.num_regs() <= reg) fn.new_reg(Type::int_ty(32));
+        return true;
+      }
+    }
+    c = save;
+    has_result = false;
+    return true;
+  }
+
+  // --- pass 2: bodies --------------------------------------------------------
+
+  bool body_pass() {
+    for (std::uint32_t fi = 0; fi < module_.num_functions(); ++fi) {
+      if (!parse_body(fi, fn_lines_[fi])) return false;
+    }
+    return true;
+  }
+
+  bool parse_body(std::uint32_t fn_index, std::uint32_t header_line) {
+    Function& fn = *module_.function(fn_index);
+    std::uint32_t current_block = kNoBlock;
+    for (std::uint32_t i = header_line + 1; i < lines_.size(); ++i) {
+      Cursor c{lines_[i], 0, i};
+      if (c.done()) continue;
+      if (c.eat("}")) return true;
+
+      if (c.eat("bb")) {
+        std::uint64_t id = 0;
+        if (!c.number(id)) return fail(i, "bad block header");
+        std::string label;
+        if (c.eat("(")) {
+          label = c.ident();
+          if (!c.eat(")")) return fail(i, "unterminated block label");
+        }
+        if (!c.eat(":")) return fail(i, "block header needs ':'");
+        const std::uint32_t got = fn.add_block(label);
+        if (got != id) return fail(i, "blocks must be numbered in order");
+        current_block = got;
+        continue;
+      }
+
+      if (current_block == kNoBlock)
+        return fail(i, "instruction outside a block");
+      Instruction inst;
+      if (!parse_instruction(c, fn, inst)) {
+        return fail(i, "cannot parse instruction: '" + lines_[i] + "'" +
+                           (error_.empty() ? "" : " (" + error_ + ")"));
+      }
+      inst.line = i + 1;
+      fn.block(current_block).insts.push_back(std::move(inst));
+    }
+    return fail(header_line, "function body not closed with '}'");
+  }
+
+  bool parse_instruction(Cursor& c, Function& fn, Instruction& inst) {
+    bool has_result = false;
+    std::uint64_t result_reg = 0;
+    if (!parse_result(c, fn, has_result, result_reg)) return false;
+
+    auto finish_result = [&](Type t) {
+      if (!has_result) return false;
+      inst.result = static_cast<std::uint32_t>(result_reg);
+      fn.set_reg_type(inst.result, t);
+      return true;
+    };
+
+    std::uint64_t n = 0;
+    if (c.eat("alloca")) {
+      inst.op = Opcode::kAlloca;
+      if (!c.number(inst.alloca_size)) return false;
+      return finish_result(Type::ptr_ty());
+    }
+    if (c.eat("load")) {
+      inst.op = Opcode::kLoad;
+      if (!c.eat("i") || !c.number(n)) return false;
+      inst.width = static_cast<unsigned>(n);
+      Operand ptr;
+      if (!parse_operand(c, fn, ptr)) return false;
+      inst.ops = {ptr};
+      return finish_result(Type::int_ty(inst.width));
+    }
+    if (c.eat("store")) {
+      inst.op = Opcode::kStore;
+      Operand ptr, value;
+      if (!parse_operand(c, fn, ptr) || !c.eat(",") ||
+          !parse_operand(c, fn, value))
+        return false;
+      inst.ops = {ptr, value};
+      return !has_result;
+    }
+    if (c.eat("gep")) {
+      inst.op = Opcode::kGep;
+      Operand base, delta;
+      if (!parse_operand(c, fn, base) || !c.eat("+") ||
+          !parse_operand(c, fn, delta))
+        return false;
+      inst.ops = {base, delta};
+      return finish_result(Type::ptr_ty());
+    }
+    if (c.eat("cmp")) {
+      inst.op = Opcode::kCmp;
+      static const std::pair<const char*, CmpPred> kPreds[] = {
+          {"eq", CmpPred::kEq},   {"ne", CmpPred::kNe},
+          {"ult", CmpPred::kUlt}, {"ule", CmpPred::kUle},
+          {"ugt", CmpPred::kUgt}, {"uge", CmpPred::kUge},
+          {"slt", CmpPred::kSlt}, {"sle", CmpPred::kSle},
+          {"sgt", CmpPred::kSgt}, {"sge", CmpPred::kSge},
+      };
+      bool matched = false;
+      for (const auto& [name, pred] : kPreds) {
+        if (c.eat(name)) {
+          inst.pred = pred;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return false;
+      Operand a, b;
+      if (!parse_operand(c, fn, a) || !c.eat(",") || !parse_operand(c, fn, b))
+        return false;
+      inst.width = 1;
+      inst.ops = {a, b};
+      return finish_result(Type::int_ty(1));
+    }
+    if (c.eat("zext") || c.eat("sext") || c.eat("trunc")) {
+      // The eat above consumed one of the three; recover which.
+      const std::string& line = c.line;
+      const std::size_t before = c.pos;
+      // Look backwards for the keyword we just consumed.
+      if (line.compare(before - 4, 4, "zext") == 0)
+        inst.cast = CastOp::kZExt;
+      else if (line.compare(before - 4, 4, "sext") == 0)
+        inst.cast = CastOp::kSExt;
+      else
+        inst.cast = CastOp::kTrunc;
+      inst.op = Opcode::kCast;
+      Operand v;
+      if (!parse_operand(c, fn, v) || !c.eat("to") || !c.eat("i") ||
+          !c.number(n))
+        return false;
+      inst.width = static_cast<unsigned>(n);
+      inst.ops = {v};
+      return finish_result(Type::int_ty(inst.width));
+    }
+    if (c.eat("select")) {
+      inst.op = Opcode::kSelect;
+      Operand cond, a, b;
+      if (!parse_operand(c, fn, cond) || !c.eat(",") ||
+          !parse_operand(c, fn, a) || !c.eat(",") || !parse_operand(c, fn, b))
+        return false;
+      inst.width = a.type.width;
+      inst.ops = {cond, a, b};
+      return finish_result(a.type);
+    }
+    if (c.eat("br")) {
+      inst.op = Opcode::kBr;
+      Operand cond;
+      std::uint64_t then_bb = 0, else_bb = 0;
+      if (!parse_operand(c, fn, cond) || !c.eat(",") || !c.eat("bb") ||
+          !c.number(then_bb) || !c.eat(",") || !c.eat("bb") ||
+          !c.number(else_bb))
+        return false;
+      inst.ops = {cond};
+      inst.bb_then = static_cast<std::uint32_t>(then_bb);
+      inst.bb_else = static_cast<std::uint32_t>(else_bb);
+      return !has_result;
+    }
+    if (c.eat("jmp")) {
+      inst.op = Opcode::kJmp;
+      std::uint64_t target = 0;
+      if (!c.eat("bb") || !c.number(target)) return false;
+      inst.bb_then = static_cast<std::uint32_t>(target);
+      return !has_result;
+    }
+    if (c.eat("call")) {
+      inst.op = Opcode::kCall;
+      std::uint64_t callee = 0;
+      if (!c.eat("@") || !c.number(callee) ||
+          callee >= module_.num_functions() || !c.eat("("))
+        return false;
+      inst.callee = static_cast<std::uint32_t>(callee);
+      if (!c.eat(")")) {
+        do {
+          Operand arg;
+          if (!parse_operand(c, fn, arg)) return false;
+          inst.ops.push_back(arg);
+        } while (c.eat(","));
+        if (!c.eat(")")) return false;
+      }
+      const Type ret = module_.function(inst.callee)->ret_type();
+      if (ret.is_void()) return !has_result;
+      inst.width = ret.width;
+      return finish_result(ret);
+    }
+    if (c.eat("ret")) {
+      inst.op = Opcode::kRet;
+      if (!c.done()) {
+        Operand v;
+        if (!parse_operand(c, fn, v)) return false;
+        inst.ops = {v};
+      }
+      return !has_result;
+    }
+    if (c.eat("slot_get")) {
+      inst.op = Opcode::kSlotGet;
+      if (!c.number(n)) return false;
+      inst.slot = static_cast<std::uint32_t>(n);
+      while (fn.num_slots() <= inst.slot) fn.new_slot();
+      return finish_result(Type::ptr_ty());
+    }
+    if (c.eat("slot_set")) {
+      inst.op = Opcode::kSlotSet;
+      if (!c.number(n) || !c.eat(",")) return false;
+      inst.slot = static_cast<std::uint32_t>(n);
+      while (fn.num_slots() <= inst.slot) fn.new_slot();
+      Operand v;
+      if (!parse_operand(c, fn, v)) return false;
+      inst.ops = {v};
+      return !has_result;
+    }
+    if (c.eat("global_addr")) {
+      inst.op = Opcode::kGlobalAddr;
+      if (!c.eat("@") || !c.number(n) || n >= module_.num_globals())
+        return false;
+      inst.slot = static_cast<std::uint32_t>(n);
+      return finish_result(Type::ptr_ty());
+    }
+    if (c.eat("unreachable")) {
+      inst.op = Opcode::kUnreachable;
+      return !has_result;
+    }
+
+    // Intrinsics by name.
+    static const std::pair<const char*, Intrinsic> kIntrinsics[] = {
+        {"out", Intrinsic::kOut},
+        {"assert", Intrinsic::kAssert},
+        {"abort", Intrinsic::kAbort},
+        {"checked_add", Intrinsic::kCheckedAdd},
+        {"checked_mul", Intrinsic::kCheckedMul},
+    };
+    for (const auto& [name, which] : kIntrinsics) {
+      Cursor save = c;
+      if (!c.eat(name)) continue;
+      if (!c.eat("(")) {
+        c = save;
+        continue;
+      }
+      inst.op = Opcode::kIntrinsic;
+      inst.intrinsic = which;
+      if (!c.eat(")")) {
+        do {
+          Operand arg;
+          if (!parse_operand(c, fn, arg)) return false;
+          inst.ops.push_back(arg);
+        } while (c.eat(","));
+        if (!c.eat(")")) return false;
+      }
+      if (which == Intrinsic::kCheckedAdd || which == Intrinsic::kCheckedMul) {
+        inst.width = inst.ops.empty() ? 32 : inst.ops[0].type.width;
+        return finish_result(Type::int_ty(inst.width));
+      }
+      return !has_result;
+    }
+
+    // Binary operators by name: "<op> i<w> a, b".
+    static const std::pair<const char*, BinOp> kBins[] = {
+        {"add", BinOp::kAdd},   {"sub", BinOp::kSub},  {"mul", BinOp::kMul},
+        {"udiv", BinOp::kUDiv}, {"sdiv", BinOp::kSDiv},
+        {"urem", BinOp::kURem}, {"srem", BinOp::kSRem},
+        {"and", BinOp::kAnd},   {"or", BinOp::kOr},    {"xor", BinOp::kXor},
+        {"shl", BinOp::kShl},   {"lshr", BinOp::kLShr},
+        {"ashr", BinOp::kAShr},
+    };
+    for (const auto& [name, op] : kBins) {
+      Cursor save = c;
+      if (!c.eat(name)) continue;
+      if (!c.eat("i")) {
+        c = save;
+        continue;
+      }
+      if (!c.number(n)) return false;
+      inst.op = Opcode::kBin;
+      inst.bin = op;
+      inst.width = static_cast<unsigned>(n);
+      Operand a, b;
+      if (!parse_operand(c, fn, a) || !c.eat(",") || !parse_operand(c, fn, b))
+        return false;
+      inst.ops = {a, b};
+      return finish_result(Type::int_ty(inst.width));
+    }
+    return false;
+  }
+
+  Module& module_;
+  std::string& error_;
+  std::vector<std::string> lines_;
+  std::vector<std::uint32_t> fn_lines_;
+};
+
+}  // namespace
+
+bool parse_module(const std::string& text, Module& module,
+                  std::string& error) {
+  Parser parser(text, module, error);
+  return parser.run();
+}
+
+}  // namespace pbse::ir

@@ -1,0 +1,41 @@
+// Text-format parser for the Mini-IR: parses what printer.h emits, giving
+// a round-trippable on-disk form (golden tests, hand-written fixtures,
+// dumping/reloading modules).
+//
+// Grammar (one construct per line, '#' comments):
+//   global <name>[<size>] [const] [= b0 b1 ...]
+//   fn <name>(<type>, ...) -> <type> {
+//   bb<N>[ (<label>)]:
+//     %r = alloca <size>
+//     %r = load i<w> <op>
+//     store <op>, <op>
+//     %r = gep <op> + <op>
+//     %r = <binop> i<w> <op>, <op>
+//     %r = cmp <pred> <op>, <op>
+//     %r = zext|sext|trunc <op> to i<w>
+//     %r = select <op>, <op>, <op>
+//     br <op>, bb<N>, bb<N>
+//     jmp bb<N>
+//     [%r =] call @<index>(<op>, ...)
+//     ret [<op>]
+//     [%r =] out|assert|abort|checked_add|checked_mul(<op>...)
+//     %r = slot_get <N>   |   slot_set <N>, <op>   |   %r = global_addr @<N>
+//     unreachable
+//   }
+// Operands: integer literal, %<reg>, 'null' (pointer null), 'none'.
+// Register types are reconstructed from defining instructions; operand
+// widths of literals are inferred from context.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace pbse::ir {
+
+/// Parses `text` into `module` (which must be empty, un-finalized).
+/// Returns false and fills `error` ("line N: message") on failure.
+bool parse_module(const std::string& text, Module& module,
+                  std::string& error);
+
+}  // namespace pbse::ir

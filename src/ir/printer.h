@@ -1,0 +1,19 @@
+// Human-readable IR dumps for debugging and golden tests.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace pbse::ir {
+
+/// Renders one instruction, e.g. "%3 = bin add i32 %1, 42".
+std::string to_string(const Function& fn, const Instruction& inst);
+
+/// Renders a whole function with labeled blocks.
+std::string to_string(const Function& fn);
+
+/// Renders the whole module (globals + functions).
+std::string to_string(const Module& module);
+
+}  // namespace pbse::ir

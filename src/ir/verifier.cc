@@ -1,0 +1,136 @@
+#include "ir/verifier.h"
+
+#include <sstream>
+
+namespace pbse::ir {
+
+namespace {
+
+void check_function(const Module& module, const Function& fn,
+                    std::vector<std::string>& problems) {
+  auto complain = [&](std::uint32_t bb, std::size_t idx, const std::string& msg) {
+    std::ostringstream out;
+    out << fn.name() << " bb" << bb << " inst" << idx << ": " << msg;
+    problems.push_back(out.str());
+  };
+
+  if (fn.num_blocks() == 0) {
+    problems.push_back(fn.name() + ": function has no blocks");
+    return;
+  }
+
+  for (std::uint32_t bi = 0; bi < fn.num_blocks(); ++bi) {
+    const BasicBlock& bb = fn.block(bi);
+    if (bb.insts.empty()) {
+      complain(bi, 0, "empty block");
+      continue;
+    }
+    if (!bb.insts.back().is_terminator())
+      complain(bi, bb.insts.size() - 1, "block does not end in a terminator");
+
+    for (std::size_t ii = 0; ii < bb.insts.size(); ++ii) {
+      const Instruction& inst = bb.insts[ii];
+      if (inst.is_terminator() && ii + 1 != bb.insts.size())
+        complain(bi, ii, "terminator not at end of block");
+
+      for (const Operand& op : inst.ops) {
+        if (op.is_reg() && op.reg >= fn.num_regs())
+          complain(bi, ii, "operand register out of range");
+        if (op.is_reg() && op.reg < fn.num_regs() &&
+            !(fn.reg_type(op.reg) == op.type))
+          complain(bi, ii, "operand type disagrees with register type");
+      }
+      if (inst.result != kNoReg && inst.result >= fn.num_regs())
+        complain(bi, ii, "result register out of range");
+
+      switch (inst.op) {
+        case Opcode::kBr:
+          if (inst.ops.size() != 1 || !(inst.ops[0].type == Type::int_ty(1)))
+            complain(bi, ii, "br condition must be i1");
+          if (inst.bb_then >= fn.num_blocks() || inst.bb_else >= fn.num_blocks())
+            complain(bi, ii, "br target out of range");
+          break;
+        case Opcode::kJmp:
+          if (inst.bb_then >= fn.num_blocks())
+            complain(bi, ii, "jmp target out of range");
+          break;
+        case Opcode::kBin:
+        case Opcode::kCmp:
+          if (inst.ops.size() != 2 || !(inst.ops[0].type == inst.ops[1].type) ||
+              !inst.ops[0].type.is_int())
+            complain(bi, ii, "binary op operands must be ints of equal width");
+          break;
+        case Opcode::kLoad:
+          if (inst.ops.size() != 1 || !inst.ops[0].type.is_ptr())
+            complain(bi, ii, "load operand must be a pointer");
+          if (inst.width == 0 || inst.width > 64 || inst.width % 8 != 0)
+            complain(bi, ii, "load width must be a multiple of 8 in [8,64]");
+          break;
+        case Opcode::kStore:
+          if (inst.ops.size() != 2 || !inst.ops[0].type.is_ptr() ||
+              !inst.ops[1].type.is_int())
+            complain(bi, ii, "store needs (ptr, int)");
+          else if (inst.ops[1].type.width % 8 != 0)
+            complain(bi, ii, "store width must be a multiple of 8");
+          break;
+        case Opcode::kGep:
+          if (inst.ops.size() != 2 || !inst.ops[0].type.is_ptr() ||
+              !inst.ops[1].type.is_int())
+            complain(bi, ii, "gep needs (ptr, int)");
+          break;
+        case Opcode::kCall: {
+          if (inst.callee >= module.num_functions()) {
+            complain(bi, ii, "call target out of range");
+            break;
+          }
+          const Function* target = module.function(inst.callee);
+          if (target->params().size() != inst.ops.size())
+            complain(bi, ii, "call argument count mismatch");
+          else
+            for (std::size_t ai = 0; ai < inst.ops.size(); ++ai)
+              if (!(inst.ops[ai].type == target->params()[ai]))
+                complain(bi, ii, "call argument type mismatch");
+          if (target->ret_type().is_void() != (inst.result == kNoReg))
+            complain(bi, ii, "call result disagrees with return type");
+          break;
+        }
+        case Opcode::kRet: {
+          const Type ret = fn.ret_type();
+          if (ret.is_void() && !inst.ops.empty())
+            complain(bi, ii, "void function returns a value");
+          if (!ret.is_void() &&
+              (inst.ops.size() != 1 || !(inst.ops[0].type == ret)))
+            complain(bi, ii, "return value type mismatch");
+          break;
+        }
+        case Opcode::kSlotGet:
+          if (inst.slot >= fn.num_slots())
+            complain(bi, ii, "slot index out of range");
+          break;
+        case Opcode::kSlotSet:
+          if (inst.slot >= fn.num_slots())
+            complain(bi, ii, "slot index out of range");
+          if (inst.ops.size() != 1 || !inst.ops[0].type.is_ptr())
+            complain(bi, ii, "slot_set needs a pointer operand");
+          break;
+        case Opcode::kGlobalAddr:
+          if (inst.slot >= module.num_globals())
+            complain(bi, ii, "global index out of range");
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> verify(const Module& module) {
+  std::vector<std::string> problems;
+  for (std::uint32_t fi = 0; fi < module.num_functions(); ++fi)
+    check_function(module, *module.function(fi), problems);
+  return problems;
+}
+
+}  // namespace pbse::ir

@@ -1,0 +1,19 @@
+// Structural IR well-formedness checks, run after module finalization and
+// before any execution. Catches codegen bugs early with precise messages.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace pbse::ir {
+
+/// Returns a list of human-readable problems; empty means the module is
+/// well-formed. Checks: blocks end in exactly one terminator, branch
+/// targets exist, operand/register types agree, call signatures match,
+/// returns match the function's return type, registers are defined before
+/// use along instruction order within each block's straight-line code.
+std::vector<std::string> verify(const Module& module);
+
+}  // namespace pbse::ir

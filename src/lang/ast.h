@@ -1,0 +1,145 @@
+// MiniC abstract syntax tree.
+//
+// MiniC is the C subset the target programs are written in: fixed-width
+// integer types, 1-D arrays, single-level pointers to integers, functions,
+// the usual statements and operators, plus engine builtins (out, check,
+// stop, checked_add, checked_mul, input_size).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pbse::minic {
+
+/// Frontend type: void, an integer (width + signedness), or a pointer to
+/// an integer type.
+struct CType {
+  enum class K : std::uint8_t { kVoid, kInt, kPtr };
+  K k = K::kVoid;
+  unsigned width = 0;       // kInt: bits (1 for bool, else 8/16/32/64)
+  bool is_signed = false;   // kInt
+  unsigned elem_width = 0;  // kPtr: pointee width
+  bool elem_signed = false;
+
+  static CType void_ty() { return {}; }
+  static CType int_ty(unsigned width, bool is_signed) {
+    return {K::kInt, width, is_signed, 0, false};
+  }
+  static CType bool_ty() { return int_ty(1, false); }
+  static CType ptr_to(unsigned elem_width, bool elem_signed) {
+    return {K::kPtr, 64, false, elem_width, elem_signed};
+  }
+
+  bool is_void() const { return k == K::kVoid; }
+  bool is_int() const { return k == K::kInt; }
+  bool is_ptr() const { return k == K::kPtr; }
+  bool operator==(const CType& o) const {
+    if (k != o.k) return false;
+    if (k == K::kInt) return width == o.width && is_signed == o.is_signed;
+    if (k == K::kPtr) return elem_width == o.elem_width && elem_signed == o.elem_signed;
+    return true;
+  }
+  std::string to_string() const;
+};
+
+// --- Expressions -----------------------------------------------------------
+
+enum class ExprNodeKind : std::uint8_t {
+  kNum, kStr, kIdent, kUnary, kBinary, kTernary, kAssign, kCall, kIndex, kCast,
+};
+
+enum class UnaryOp : std::uint8_t {
+  kNeg, kLogNot, kBitNot, kDeref, kAddrOf, kPreInc, kPreDec, kPostInc, kPostDec,
+};
+
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kAnd, kOr, kXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLogAnd, kLogOr,
+};
+
+struct ExprNode;
+using ExprPtr = std::unique_ptr<ExprNode>;
+
+struct ExprNode {
+  ExprNodeKind kind;
+  std::uint32_t line = 0;
+  // kNum
+  std::uint64_t number = 0;
+  // kStr / kIdent / kCall (callee name)
+  std::string text;
+  // kUnary / kBinary / kAssign(op as BinaryOp; kAssignPlain flag)
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  bool compound_assign = false;  // kAssign: true for += etc.
+  // kCast
+  CType cast_type;
+  // children: unary->a; binary/assign/index->a,b; ternary->a,b,c; call->args
+  ExprPtr a, b, c;
+  std::vector<ExprPtr> args;
+};
+
+// --- Statements ------------------------------------------------------------
+
+enum class StmtNodeKind : std::uint8_t {
+  kBlock, kDecl, kExpr, kIf, kWhile, kFor, kBreak, kContinue, kReturn,
+};
+
+struct StmtNode;
+using StmtPtr = std::unique_ptr<StmtNode>;
+
+struct StmtNode {
+  StmtNodeKind kind;
+  std::uint32_t line = 0;
+  // kDecl
+  CType decl_type;
+  std::string name;
+  bool is_array = false;
+  std::uint64_t array_size = 0;
+  std::vector<std::uint64_t> init_list;  // array initializer
+  bool has_init_list = false;
+  // kDecl init / kExpr / kReturn value / kIf & kWhile & kFor condition
+  ExprPtr expr;
+  // kFor
+  StmtPtr for_init;
+  ExprPtr for_step;
+  // kBlock
+  std::vector<StmtPtr> stmts;
+  // kIf / kWhile / kFor bodies
+  StmtPtr body;
+  StmtPtr else_body;
+};
+
+// --- Top level --------------------------------------------------------------
+
+struct GlobalDecl {
+  std::uint32_t line = 0;
+  CType type;                // element type for arrays
+  std::string name;
+  bool is_array = false;
+  std::uint64_t array_size = 0;
+  std::vector<std::uint64_t> init_list;
+};
+
+struct ParamDecl {
+  CType type;
+  std::string name;
+};
+
+struct FuncDecl {
+  std::uint32_t line = 0;
+  CType ret;
+  std::string name;
+  std::vector<ParamDecl> params;
+  StmtPtr body;  // kBlock
+};
+
+struct Program {
+  std::vector<GlobalDecl> globals;
+  std::vector<FuncDecl> functions;
+};
+
+}  // namespace pbse::minic

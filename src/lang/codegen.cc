@@ -1,0 +1,1171 @@
+#include "lang/codegen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+#include <unordered_map>
+
+#include "ir/builder.h"
+#include "lang/parser.h"
+
+namespace pbse::minic {
+
+namespace {
+
+using ir::Builder;
+using ir::Operand;
+
+/// A typed rvalue: an IR operand plus its MiniC type. `is_literal` marks
+/// numeric literals whose width adapts to the other operand's type.
+struct RV {
+  Operand op;
+  CType t;
+  bool is_literal = false;
+};
+
+/// Where a variable lives.
+struct VarInfo {
+  enum class Kind { kMemScalar, kArray, kPtrSlot, kGlobalArray, kGlobalScalar };
+  Kind kind = Kind::kMemScalar;
+  CType type;           // scalar/pointer type, or element type for arrays
+  Operand base;         // kMemScalar / kArray: alloca pointer register
+  std::uint32_t slot = 0;    // kPtrSlot
+  std::uint32_t global = 0;  // kGlobal*
+  std::uint64_t count = 0;   // kArray / kGlobalArray element count
+};
+
+/// An assignable location.
+struct LV {
+  enum class Kind { kMem, kSlot };
+  Kind kind = Kind::kMem;
+  Operand ptr;   // kMem: address of the element
+  CType type;    // element type (int) or pointer type (kSlot)
+  std::uint32_t slot = 0;  // kSlot
+};
+
+struct FuncSig {
+  std::uint32_t index = 0;
+  CType ret;
+  std::vector<CType> params;
+};
+
+ir::Type to_ir_type(const CType& t) {
+  if (t.is_void()) return ir::Type::void_ty();
+  if (t.is_ptr()) return ir::Type::ptr_ty();
+  return ir::Type::int_ty(t.width);
+}
+
+unsigned byte_size(const CType& t) {
+  assert(t.is_int());
+  return t.width == 1 ? 1 : t.width / 8;
+}
+
+class Compiler {
+ public:
+  Compiler(ir::Module& module, std::string& error)
+      : module_(module), error_(error) {}
+
+  bool run(const Program& program) {
+    // Pass 1: declare globals and function signatures.
+    for (const GlobalDecl& g : program.globals)
+      if (!declare_global(g)) return false;
+    for (const FuncDecl& fn : program.functions)
+      if (!declare_function(fn)) return false;
+    // Pass 2: compile bodies.
+    for (const FuncDecl& fn : program.functions)
+      if (!compile_function(fn)) return false;
+    return true;
+  }
+
+ private:
+  bool fail(std::uint32_t line, const std::string& msg) {
+    if (error_.empty()) error_ = "line " + std::to_string(line) + ": " + msg;
+    return false;
+  }
+
+  // --- Declarations ------------------------------------------------------
+
+  bool declare_global(const GlobalDecl& g) {
+    if (globals_.count(g.name) != 0 || functions_.count(g.name) != 0)
+      return fail(g.line, "redefinition of '" + g.name + "'");
+    if (!g.type.is_int() || g.type.width == 1)
+      return fail(g.line, "globals must have integer type u8..i64");
+    const std::uint64_t count = g.is_array ? g.array_size : 1;
+    if (g.is_array && g.array_size == 0)
+      return fail(g.line, "zero-sized global array");
+    if (g.init_list.size() > count)
+      return fail(g.line, "too many initializers");
+    ir::Global irg;
+    irg.name = g.name;
+    irg.size = count * byte_size(g.type);
+    irg.init = encode_init(g.type, g.init_list);
+    const std::uint32_t index = module_.add_global(std::move(irg));
+    VarInfo info;
+    info.kind = g.is_array ? VarInfo::Kind::kGlobalArray
+                           : VarInfo::Kind::kGlobalScalar;
+    info.type = g.type;
+    info.global = index;
+    info.count = count;
+    globals_[g.name] = info;
+    return true;
+  }
+
+  static std::vector<std::uint8_t> encode_init(
+      const CType& elem, const std::vector<std::uint64_t>& values) {
+    std::vector<std::uint8_t> bytes;
+    const unsigned size = byte_size(elem);
+    bytes.reserve(values.size() * size);
+    for (std::uint64_t v : values)
+      for (unsigned b = 0; b < size; ++b)
+        bytes.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+    return bytes;
+  }
+
+  bool declare_function(const FuncDecl& fn) {
+    if (functions_.count(fn.name) != 0 || globals_.count(fn.name) != 0 ||
+        is_builtin(fn.name))
+      return fail(fn.line, "redefinition of '" + fn.name + "'");
+    std::vector<ir::Type> ir_params;
+    FuncSig sig;
+    sig.ret = fn.ret;
+    for (const ParamDecl& p : fn.params) {
+      ir_params.push_back(to_ir_type(p.type));
+      sig.params.push_back(p.type);
+    }
+    auto irfn = std::make_unique<ir::Function>(fn.name, std::move(ir_params),
+                                               to_ir_type(fn.ret));
+    // Registers 0..N-1 are the parameters, in order.
+    for (const ParamDecl& p : fn.params) irfn->new_reg(to_ir_type(p.type));
+    sig.index = module_.add_function(std::move(irfn));
+    functions_[fn.name] = std::move(sig);
+    return true;
+  }
+
+  static bool is_builtin(const std::string& name) {
+    return name == "out" || name == "check" || name == "stop" ||
+           name == "checked_add" || name == "checked_mul";
+  }
+
+  // --- Function bodies ---------------------------------------------------
+
+  bool compile_function(const FuncDecl& fn) {
+    ir::Function& irfn = *module_.function(functions_[fn.name].index);
+    Builder builder(module_, irfn);
+    builder_ = &builder;
+    current_ret_ = fn.ret;
+    scopes_.clear();
+    scopes_.emplace_back();
+    break_targets_.clear();
+    continue_targets_.clear();
+
+    const std::uint32_t entry = irfn.add_block("entry");
+    builder.set_insert(entry);
+    builder.set_line(fn.line);
+
+    // Spill parameters into mutable storage.
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      const ParamDecl& p = fn.params[i];
+      const Operand param_reg =
+          Operand::reg_of(static_cast<std::uint32_t>(i), to_ir_type(p.type));
+      if (scopes_.back().count(p.name) != 0)
+        return fail(fn.line, "duplicate parameter '" + p.name + "'");
+      VarInfo info;
+      info.type = p.type;
+      if (p.type.is_ptr()) {
+        info.kind = VarInfo::Kind::kPtrSlot;
+        info.slot = irfn.new_slot();
+        builder.emit_slot_set(info.slot, param_reg);
+      } else {
+        info.kind = VarInfo::Kind::kMemScalar;
+        info.base = builder.emit_alloca(byte_size(p.type));
+        store_int(info.base, RV{param_reg, p.type});
+      }
+      scopes_.back()[p.name] = info;
+    }
+
+    if (!compile_stmt(*fn.body)) return false;
+
+    // Seal: give every unterminated block a default return.
+    for (ir::BasicBlock& bb : irfn.blocks()) {
+      if (!bb.insts.empty() && bb.insts.back().is_terminator()) continue;
+      builder.set_insert(bb.id);
+      if (fn.ret.is_void())
+        builder.emit_ret_void();
+      else if (fn.ret.is_ptr())
+        builder.emit_ret(null_ptr());
+      else
+        builder.emit_ret(Operand::constant(0, fn.ret.width));
+    }
+    builder_ = nullptr;
+    return true;
+  }
+
+  // --- Statements --------------------------------------------------------
+
+  bool compile_stmt(const StmtNode& stmt) {
+    Builder& b = *builder_;
+    b.set_line(stmt.line);
+    switch (stmt.kind) {
+      case StmtNodeKind::kBlock: {
+        scopes_.emplace_back();
+        for (const StmtPtr& s : stmt.stmts) {
+          if (b.block_terminated()) {
+            // Dead code after return/break: park it in a fresh block so the
+            // verifier still sees well-formed structure.
+            const std::uint32_t dead = b.fn().add_block("dead");
+            b.set_insert(dead);
+          }
+          if (!compile_stmt(*s)) return false;
+        }
+        scopes_.pop_back();
+        return true;
+      }
+      case StmtNodeKind::kDecl:
+        return compile_decl(stmt);
+      case StmtNodeKind::kExpr: {
+        RV ignored;
+        return compile_expr(*stmt.expr, ignored);
+      }
+      case StmtNodeKind::kIf:
+        return compile_if(stmt);
+      case StmtNodeKind::kWhile:
+        return compile_while(stmt);
+      case StmtNodeKind::kFor:
+        return compile_for(stmt);
+      case StmtNodeKind::kBreak:
+        if (break_targets_.empty())
+          return fail(stmt.line, "break outside a loop");
+        b.emit_jmp(break_targets_.back());
+        return true;
+      case StmtNodeKind::kContinue:
+        if (continue_targets_.empty())
+          return fail(stmt.line, "continue outside a loop");
+        b.emit_jmp(continue_targets_.back());
+        return true;
+      case StmtNodeKind::kReturn: {
+        if (current_ret_.is_void()) {
+          if (stmt.expr != nullptr)
+            return fail(stmt.line, "void function returns a value");
+          b.emit_ret_void();
+          return true;
+        }
+        if (stmt.expr == nullptr)
+          return fail(stmt.line, "non-void function must return a value");
+        RV value;
+        if (!compile_expr(*stmt.expr, value)) return false;
+        RV converted;
+        if (!convert(stmt.line, value, current_ret_, converted)) return false;
+        b.emit_ret(converted.op);
+        return true;
+      }
+    }
+    return fail(stmt.line, "unhandled statement");
+  }
+
+  bool compile_decl(const StmtNode& stmt) {
+    Builder& b = *builder_;
+    if (lookup_local_innermost(stmt.name) != nullptr)
+      return fail(stmt.line, "redefinition of '" + stmt.name + "'");
+
+    VarInfo info;
+    info.type = stmt.decl_type;
+    if (stmt.is_array) {
+      if (!stmt.decl_type.is_int() || stmt.decl_type.width == 1)
+        return fail(stmt.line, "arrays must have integer element type");
+      if (stmt.array_size == 0) return fail(stmt.line, "zero-sized array");
+      if (stmt.init_list.size() > stmt.array_size)
+        return fail(stmt.line, "too many initializers");
+      info.kind = VarInfo::Kind::kArray;
+      info.count = stmt.array_size;
+      info.base = b.emit_alloca(stmt.array_size * byte_size(stmt.decl_type));
+      if (stmt.has_init_list) {
+        const unsigned elem_size = byte_size(stmt.decl_type);
+        for (std::size_t i = 0; i < stmt.init_list.size(); ++i) {
+          const Operand addr = b.emit_gep(
+              info.base,
+              Operand::constant(i * elem_size, 64));
+          b.emit_store(addr, Operand::constant(stmt.init_list[i],
+                                               stmt.decl_type.width == 1
+                                                   ? 8
+                                                   : stmt.decl_type.width));
+        }
+      }
+    } else if (stmt.decl_type.is_ptr()) {
+      info.kind = VarInfo::Kind::kPtrSlot;
+      info.slot = b.fn().new_slot();
+      if (stmt.expr != nullptr) {
+        RV value;
+        if (!compile_expr(*stmt.expr, value)) return false;
+        RV converted;
+        if (!convert(stmt.line, value, stmt.decl_type, converted)) return false;
+        b.emit_slot_set(info.slot, converted.op);
+      } else {
+        b.emit_slot_set(info.slot, null_ptr());
+      }
+    } else {
+      info.kind = VarInfo::Kind::kMemScalar;
+      info.base = b.emit_alloca(byte_size(stmt.decl_type));
+      RV value{Operand::constant(0, stmt.decl_type.width), stmt.decl_type};
+      if (stmt.expr != nullptr) {
+        RV raw;
+        if (!compile_expr(*stmt.expr, raw)) return false;
+        if (!convert(stmt.line, raw, stmt.decl_type, value)) return false;
+      }
+      store_int(info.base, value);
+    }
+    scopes_.back()[stmt.name] = info;
+    return true;
+  }
+
+  bool compile_if(const StmtNode& stmt) {
+    Builder& b = *builder_;
+    RV cond;
+    if (!compile_condition(*stmt.expr, cond)) return false;
+    const std::uint32_t then_bb = b.fn().add_block("if.then");
+    const std::uint32_t end_bb = b.fn().add_block("if.end");
+    const std::uint32_t else_bb =
+        stmt.else_body != nullptr ? b.fn().add_block("if.else") : end_bb;
+    b.emit_br(cond.op, then_bb, else_bb);
+    b.set_insert(then_bb);
+    if (!compile_stmt(*stmt.body)) return false;
+    if (!b.block_terminated()) b.emit_jmp(end_bb);
+    if (stmt.else_body != nullptr) {
+      b.set_insert(else_bb);
+      if (!compile_stmt(*stmt.else_body)) return false;
+      if (!b.block_terminated()) b.emit_jmp(end_bb);
+    }
+    b.set_insert(end_bb);
+    return true;
+  }
+
+  bool compile_while(const StmtNode& stmt) {
+    Builder& b = *builder_;
+    const std::uint32_t cond_bb = b.fn().add_block("while.cond");
+    const std::uint32_t body_bb = b.fn().add_block("while.body");
+    const std::uint32_t end_bb = b.fn().add_block("while.end");
+    b.emit_jmp(cond_bb);
+    b.set_insert(cond_bb);
+    RV cond;
+    if (!compile_condition(*stmt.expr, cond)) return false;
+    b.emit_br(cond.op, body_bb, end_bb);
+    b.set_insert(body_bb);
+    break_targets_.push_back(end_bb);
+    continue_targets_.push_back(cond_bb);
+    const bool ok = compile_stmt(*stmt.body);
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+    if (!ok) return false;
+    if (!b.block_terminated()) b.emit_jmp(cond_bb);
+    b.set_insert(end_bb);
+    return true;
+  }
+
+  bool compile_for(const StmtNode& stmt) {
+    Builder& b = *builder_;
+    scopes_.emplace_back();  // for-init scope
+    if (stmt.for_init != nullptr && !compile_stmt(*stmt.for_init)) {
+      scopes_.pop_back();
+      return false;
+    }
+    const std::uint32_t cond_bb = b.fn().add_block("for.cond");
+    const std::uint32_t body_bb = b.fn().add_block("for.body");
+    const std::uint32_t step_bb = b.fn().add_block("for.step");
+    const std::uint32_t end_bb = b.fn().add_block("for.end");
+    b.emit_jmp(cond_bb);
+    b.set_insert(cond_bb);
+    if (stmt.expr != nullptr) {
+      RV cond;
+      if (!compile_condition(*stmt.expr, cond)) {
+        scopes_.pop_back();
+        return false;
+      }
+      b.emit_br(cond.op, body_bb, end_bb);
+    } else {
+      b.emit_jmp(body_bb);
+    }
+    b.set_insert(body_bb);
+    break_targets_.push_back(end_bb);
+    continue_targets_.push_back(step_bb);
+    const bool ok = compile_stmt(*stmt.body);
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+    if (!ok) {
+      scopes_.pop_back();
+      return false;
+    }
+    if (!b.block_terminated()) b.emit_jmp(step_bb);
+    b.set_insert(step_bb);
+    if (stmt.for_step != nullptr) {
+      RV ignored;
+      if (!compile_expr(*stmt.for_step, ignored)) {
+        scopes_.pop_back();
+        return false;
+      }
+    }
+    b.emit_jmp(cond_bb);
+    b.set_insert(end_bb);
+    scopes_.pop_back();
+    return true;
+  }
+
+  // --- Variable lookup ----------------------------------------------------
+
+  const VarInfo* lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return &found->second;
+    }
+    auto g = globals_.find(name);
+    return g == globals_.end() ? nullptr : &g->second;
+  }
+
+  const VarInfo* lookup_local_innermost(const std::string& name) const {
+    auto found = scopes_.back().find(name);
+    return found == scopes_.back().end() ? nullptr : &found->second;
+  }
+
+  // --- Conversions --------------------------------------------------------
+
+  static Operand null_ptr() {
+    Operand o;
+    o.kind = Operand::Kind::kConst;
+    o.type = ir::Type::ptr_ty();
+    o.cval = 0;
+    return o;
+  }
+
+  /// Converts `v` to type `to` (C-style: truncate or extend by the SOURCE
+  /// signedness; int->bool is != 0; pointer casts reinterpret).
+  bool convert(std::uint32_t line, const RV& v, const CType& to, RV& out) {
+    Builder& b = *builder_;
+    if (v.t == to) {
+      out = v;
+      out.t = to;
+      return true;
+    }
+    if (to.is_ptr()) {
+      if (v.t.is_ptr()) {
+        out = RV{v.op, to};
+        return true;
+      }
+      if (v.is_literal && v.op.is_const() && v.op.cval == 0) {
+        out = RV{null_ptr(), to};
+        return true;
+      }
+      return fail(line, "cannot convert " + v.t.to_string() + " to pointer");
+    }
+    if (v.t.is_ptr())
+      return fail(line, "cannot convert pointer to " + to.to_string());
+    if (!to.is_int() || !v.t.is_int())
+      return fail(line, "invalid conversion involving void");
+    // int -> bool: != 0.
+    if (to.width == 1 && v.t.width != 1) {
+      const Operand zero = Operand::constant(0, v.t.width);
+      out = RV{b.emit_cmp(ir::CmpPred::kNe, v.op, zero), to};
+      return true;
+    }
+    if (to.width == v.t.width) {
+      out = RV{v.op, to};
+      return true;
+    }
+    if (to.width > v.t.width) {
+      out = RV{b.emit_cast(v.t.is_signed ? ir::CastOp::kSExt : ir::CastOp::kZExt,
+                           v.op, to.width),
+               to};
+      return true;
+    }
+    out = RV{b.emit_cast(ir::CastOp::kTrunc, v.op, to.width), to};
+    return true;
+  }
+
+  /// The common type two integer operands are brought to: the wider width,
+  /// signed only if both are signed. Literals adapt to the other operand.
+  static CType common_type(const RV& a, const RV& b) {
+    if (a.is_literal && !b.is_literal && b.t.is_int()) {
+      // A literal that fits the other operand's width takes its type.
+      const unsigned w = b.t.width == 1 ? 8 : b.t.width;
+      if (w >= 64 || a.op.cval < (std::uint64_t{1} << w))
+        return CType::int_ty(w, b.t.is_signed);
+    }
+    if (b.is_literal && !a.is_literal && a.t.is_int()) {
+      const unsigned w = a.t.width == 1 ? 8 : a.t.width;
+      if (w >= 64 || b.op.cval < (std::uint64_t{1} << w))
+        return CType::int_ty(w, a.t.is_signed);
+    }
+    const unsigned aw = a.t.width == 1 ? 8 : a.t.width;
+    const unsigned bw = b.t.width == 1 ? 8 : b.t.width;
+    return CType::int_ty(std::max({aw, bw, 32u}),
+                         a.t.is_signed && b.t.is_signed);
+  }
+
+  /// Evaluates `expr` as an i1 condition (int -> != 0).
+  bool compile_condition(const ExprNode& expr, RV& out) {
+    RV raw;
+    if (!compile_expr(expr, raw)) return false;
+    if (raw.t.is_ptr()) {
+      // A pointer condition means "not null"; lower as p != null via cmp.
+      Builder& b = *builder_;
+      out = RV{b.emit_cmp(ir::CmpPred::kNe, raw.op, null_ptr()),
+               CType::bool_ty()};
+      return true;
+    }
+    return convert(expr.line, raw, CType::bool_ty(), out);
+  }
+
+  // --- Loads and stores ---------------------------------------------------
+
+  /// Loads an integer of type `t` from `ptr` (bool is stored as one byte).
+  RV load_int(Operand ptr, const CType& t) {
+    Builder& b = *builder_;
+    const unsigned mem_width = t.width == 1 ? 8 : t.width;
+    Operand raw = b.emit_load(ptr, mem_width);
+    if (t.width == 1) raw = b.emit_cast(ir::CastOp::kTrunc, raw, 1);
+    return RV{raw, t};
+  }
+
+  void store_int(Operand ptr, const RV& v) {
+    Builder& b = *builder_;
+    Operand raw = v.op;
+    if (v.t.width == 1) raw = b.emit_cast(ir::CastOp::kZExt, raw, 8);
+    b.emit_store(ptr, raw);
+  }
+
+  // --- Lvalues -------------------------------------------------------------
+
+  bool compile_lvalue(const ExprNode& expr, LV& out) {
+    Builder& b = *builder_;
+    switch (expr.kind) {
+      case ExprNodeKind::kIdent: {
+        const VarInfo* var = lookup(expr.text);
+        if (var == nullptr)
+          return fail(expr.line, "unknown variable '" + expr.text + "'");
+        switch (var->kind) {
+          case VarInfo::Kind::kMemScalar:
+            out = LV{LV::Kind::kMem, var->base, var->type, 0};
+            return true;
+          case VarInfo::Kind::kGlobalScalar:
+            out = LV{LV::Kind::kMem, b.emit_global_addr(var->global),
+                     var->type, 0};
+            return true;
+          case VarInfo::Kind::kPtrSlot:
+            out = LV{LV::Kind::kSlot, Operand::none(), var->type, var->slot};
+            return true;
+          default:
+            return fail(expr.line, "cannot assign to array '" + expr.text + "'");
+        }
+      }
+      case ExprNodeKind::kIndex: {
+        RV base;
+        CType elem;
+        if (!compile_pointer_base(*expr.a, base, elem)) return false;
+        RV index;
+        if (!compile_expr(*expr.b, index)) return false;
+        RV idx64;
+        if (!convert(expr.line, index,
+                     CType::int_ty(64, index.t.is_signed), idx64))
+          return false;
+        const Operand scaled =
+            b.emit_bin(ir::BinOp::kMul, idx64.op,
+                       Operand::constant(byte_size(elem), 64));
+        out = LV{LV::Kind::kMem, b.emit_gep(base.op, scaled), elem, 0};
+        return true;
+      }
+      case ExprNodeKind::kUnary:
+        if (expr.unary_op == UnaryOp::kDeref) {
+          RV ptr;
+          if (!compile_expr(*expr.a, ptr)) return false;
+          if (!ptr.t.is_ptr())
+            return fail(expr.line, "cannot dereference non-pointer");
+          out = LV{LV::Kind::kMem, ptr.op,
+                   CType::int_ty(ptr.t.elem_width, ptr.t.elem_signed), 0};
+          return true;
+        }
+        return fail(expr.line, "expression is not assignable");
+      default:
+        return fail(expr.line, "expression is not assignable");
+    }
+  }
+
+  /// Resolves an expression used as an indexing base: arrays decay to their
+  /// base pointer; pointers are used directly. `elem` is the element type.
+  bool compile_pointer_base(const ExprNode& expr, RV& base, CType& elem) {
+    if (expr.kind == ExprNodeKind::kIdent) {
+      const VarInfo* var = lookup(expr.text);
+      if (var != nullptr && (var->kind == VarInfo::Kind::kArray ||
+                             var->kind == VarInfo::Kind::kGlobalArray)) {
+        Builder& b = *builder_;
+        const Operand ptr = var->kind == VarInfo::Kind::kArray
+                                ? var->base
+                                : b.emit_global_addr(var->global);
+        base = RV{ptr, CType::ptr_to(var->type.width, var->type.is_signed)};
+        elem = var->type;
+        return true;
+      }
+    }
+    if (!compile_expr(expr, base)) return false;
+    if (!base.t.is_ptr())
+      return fail(expr.line, "indexed expression is not a pointer or array");
+    elem = CType::int_ty(base.t.elem_width, base.t.elem_signed);
+    return true;
+  }
+
+  /// Reads the current value of an lvalue.
+  bool load_lvalue(const LV& lv, RV& out) {
+    if (lv.kind == LV::Kind::kSlot) {
+      out = RV{builder_->emit_slot_get(lv.slot), lv.type};
+      return true;
+    }
+    out = load_int(lv.ptr, lv.type);
+    return true;
+  }
+
+  /// Writes `v` (already converted to the lvalue's type) into the lvalue.
+  void store_lvalue(const LV& lv, const RV& v) {
+    if (lv.kind == LV::Kind::kSlot) {
+      builder_->emit_slot_set(lv.slot, v.op);
+      return;
+    }
+    store_int(lv.ptr, v);
+  }
+
+  // --- Expressions ----------------------------------------------------------
+
+  bool compile_expr(const ExprNode& expr, RV& out) {
+    Builder& b = *builder_;
+    b.set_line(expr.line);
+    switch (expr.kind) {
+      case ExprNodeKind::kNum: {
+        const unsigned width = expr.number >= (std::uint64_t{1} << 32) ? 64 : 32;
+        out = RV{Operand::constant(expr.number, width),
+                 CType::int_ty(width, false), /*is_literal=*/true};
+        return true;
+      }
+      case ExprNodeKind::kStr: {
+        const std::uint32_t index = intern_string(expr.text);
+        out = RV{b.emit_global_addr(index), CType::ptr_to(8, false)};
+        return true;
+      }
+      case ExprNodeKind::kIdent: {
+        const VarInfo* var = lookup(expr.text);
+        if (var == nullptr)
+          return fail(expr.line, "unknown variable '" + expr.text + "'");
+        switch (var->kind) {
+          case VarInfo::Kind::kMemScalar:
+            out = load_int(var->base, var->type);
+            return true;
+          case VarInfo::Kind::kGlobalScalar:
+            out = load_int(b.emit_global_addr(var->global), var->type);
+            return true;
+          case VarInfo::Kind::kPtrSlot:
+            out = RV{b.emit_slot_get(var->slot), var->type};
+            return true;
+          case VarInfo::Kind::kArray:
+            out = RV{var->base,
+                     CType::ptr_to(var->type.width, var->type.is_signed)};
+            return true;
+          case VarInfo::Kind::kGlobalArray:
+            out = RV{b.emit_global_addr(var->global),
+                     CType::ptr_to(var->type.width, var->type.is_signed)};
+            return true;
+        }
+        return false;
+      }
+      case ExprNodeKind::kUnary:
+        return compile_unary(expr, out);
+      case ExprNodeKind::kBinary:
+        return compile_binary(expr, out);
+      case ExprNodeKind::kTernary:
+        return compile_ternary(expr, out);
+      case ExprNodeKind::kAssign:
+        return compile_assign(expr, out);
+      case ExprNodeKind::kCall:
+        return compile_call(expr, out);
+      case ExprNodeKind::kIndex: {
+        LV lv;
+        if (!compile_lvalue(expr, lv)) return false;
+        return load_lvalue(lv, out);
+      }
+      case ExprNodeKind::kCast: {
+        RV v;
+        if (!compile_expr(*expr.a, v)) return false;
+        return convert(expr.line, v, expr.cast_type, out);
+      }
+    }
+    return fail(expr.line, "unhandled expression");
+  }
+
+  bool compile_unary(const ExprNode& expr, RV& out) {
+    Builder& b = *builder_;
+    switch (expr.unary_op) {
+      case UnaryOp::kNeg: {
+        RV v;
+        if (!compile_expr(*expr.a, v)) return false;
+        if (!v.t.is_int()) return fail(expr.line, "negating a non-integer");
+        // Negated literals stay literal with a signed 32/64-bit type.
+        const CType t = CType::int_ty(v.t.width == 1 ? 32 : v.t.width, true);
+        RV conv;
+        if (!convert(expr.line, v, t, conv)) return false;
+        out = RV{b.emit_bin(ir::BinOp::kSub, Operand::constant(0, t.width),
+                            conv.op),
+                 t};
+        return true;
+      }
+      case UnaryOp::kLogNot: {
+        RV cond;
+        if (!compile_condition(*expr.a, cond)) return false;
+        out = RV{b.emit_cmp(ir::CmpPred::kEq, cond.op, Operand::constant(0, 1)),
+                 CType::bool_ty()};
+        return true;
+      }
+      case UnaryOp::kBitNot: {
+        RV v;
+        if (!compile_expr(*expr.a, v)) return false;
+        if (!v.t.is_int() || v.t.width == 1)
+          return fail(expr.line, "~ needs an integer");
+        const std::uint64_t ones = v.t.width >= 64
+                                       ? ~std::uint64_t{0}
+                                       : (std::uint64_t{1} << v.t.width) - 1;
+        out = RV{b.emit_bin(ir::BinOp::kXor, v.op,
+                            Operand::constant(ones, v.t.width)),
+                 v.t};
+        return true;
+      }
+      case UnaryOp::kDeref: {
+        LV lv;
+        if (!compile_lvalue(expr, lv)) return false;
+        return load_lvalue(lv, out);
+      }
+      case UnaryOp::kAddrOf: {
+        // &x for scalar variables, &arr[i] for elements.
+        const ExprNode& target = *expr.a;
+        if (target.kind == ExprNodeKind::kIdent ||
+            target.kind == ExprNodeKind::kIndex) {
+          LV lv;
+          if (!compile_lvalue(target, lv)) return false;
+          if (lv.kind != LV::Kind::kMem)
+            return fail(expr.line, "cannot take the address of a pointer variable");
+          out = RV{lv.ptr, CType::ptr_to(lv.type.width == 1 ? 8 : lv.type.width,
+                                         lv.type.is_signed)};
+          return true;
+        }
+        return fail(expr.line, "cannot take the address of this expression");
+      }
+      case UnaryOp::kPreInc:
+      case UnaryOp::kPreDec:
+      case UnaryOp::kPostInc:
+      case UnaryOp::kPostDec:
+        return compile_incdec(expr, out);
+    }
+    return fail(expr.line, "unhandled unary operator");
+  }
+
+  bool compile_incdec(const ExprNode& expr, RV& out) {
+    Builder& b = *builder_;
+    const bool is_inc = expr.unary_op == UnaryOp::kPreInc ||
+                        expr.unary_op == UnaryOp::kPostInc;
+    const bool is_post = expr.unary_op == UnaryOp::kPostInc ||
+                         expr.unary_op == UnaryOp::kPostDec;
+    LV lv;
+    if (!compile_lvalue(*expr.a, lv)) return false;
+    RV old_val;
+    if (!load_lvalue(lv, old_val)) return false;
+    RV new_val;
+    if (lv.type.is_ptr()) {
+      const std::uint64_t step = lv.type.elem_width / 8;
+      const Operand delta = Operand::constant(
+          is_inc ? step : static_cast<std::uint64_t>(-static_cast<std::int64_t>(step)),
+          64);
+      new_val = RV{b.emit_gep(old_val.op, delta), lv.type};
+    } else {
+      const Operand one = Operand::constant(1, lv.type.width);
+      new_val = RV{b.emit_bin(is_inc ? ir::BinOp::kAdd : ir::BinOp::kSub,
+                              old_val.op, one),
+                   lv.type};
+    }
+    store_lvalue(lv, new_val);
+    out = is_post ? old_val : new_val;
+    return true;
+  }
+
+  bool compile_binary(const ExprNode& expr, RV& out) {
+    Builder& b = *builder_;
+    if (expr.binary_op == BinaryOp::kLogAnd ||
+        expr.binary_op == BinaryOp::kLogOr)
+      return compile_logical(expr, out);
+
+    RV lhs, rhs;
+    if (!compile_expr(*expr.a, lhs)) return false;
+    if (!compile_expr(*expr.b, rhs)) return false;
+
+    // Pointer arithmetic and pointer comparisons.
+    if (lhs.t.is_ptr() || rhs.t.is_ptr())
+      return compile_pointer_binary(expr, lhs, rhs, out);
+
+    if (!lhs.t.is_int() || !rhs.t.is_int())
+      return fail(expr.line, "invalid operands to binary operator");
+
+    const bool is_shift =
+        expr.binary_op == BinaryOp::kShl || expr.binary_op == BinaryOp::kShr;
+    const CType ct = is_shift
+                         ? CType::int_ty(lhs.t.width == 1 ? 32 : lhs.t.width,
+                                         lhs.t.is_signed)
+                         : common_type(lhs, rhs);
+    RV a, c;
+    if (!convert(expr.line, lhs, ct, a)) return false;
+    if (!convert(expr.line, rhs, ct, c)) return false;
+
+    const bool both_signed = ct.is_signed;
+    switch (expr.binary_op) {
+      case BinaryOp::kAdd:
+        out = RV{b.emit_bin(ir::BinOp::kAdd, a.op, c.op), ct};
+        return true;
+      case BinaryOp::kSub:
+        out = RV{b.emit_bin(ir::BinOp::kSub, a.op, c.op), ct};
+        return true;
+      case BinaryOp::kMul:
+        out = RV{b.emit_bin(ir::BinOp::kMul, a.op, c.op), ct};
+        return true;
+      case BinaryOp::kDiv:
+        out = RV{b.emit_bin(both_signed ? ir::BinOp::kSDiv : ir::BinOp::kUDiv,
+                            a.op, c.op),
+                 ct};
+        return true;
+      case BinaryOp::kRem:
+        out = RV{b.emit_bin(both_signed ? ir::BinOp::kSRem : ir::BinOp::kURem,
+                            a.op, c.op),
+                 ct};
+        return true;
+      case BinaryOp::kAnd:
+        out = RV{b.emit_bin(ir::BinOp::kAnd, a.op, c.op), ct};
+        return true;
+      case BinaryOp::kOr:
+        out = RV{b.emit_bin(ir::BinOp::kOr, a.op, c.op), ct};
+        return true;
+      case BinaryOp::kXor:
+        out = RV{b.emit_bin(ir::BinOp::kXor, a.op, c.op), ct};
+        return true;
+      case BinaryOp::kShl:
+        out = RV{b.emit_bin(ir::BinOp::kShl, a.op, c.op), ct};
+        return true;
+      case BinaryOp::kShr:
+        out = RV{b.emit_bin(ct.is_signed ? ir::BinOp::kAShr : ir::BinOp::kLShr,
+                            a.op, c.op),
+                 ct};
+        return true;
+      case BinaryOp::kEq:
+        out = RV{b.emit_cmp(ir::CmpPred::kEq, a.op, c.op), CType::bool_ty()};
+        return true;
+      case BinaryOp::kNe:
+        out = RV{b.emit_cmp(ir::CmpPred::kNe, a.op, c.op), CType::bool_ty()};
+        return true;
+      case BinaryOp::kLt:
+        out = RV{b.emit_cmp(both_signed ? ir::CmpPred::kSlt : ir::CmpPred::kUlt,
+                            a.op, c.op),
+                 CType::bool_ty()};
+        return true;
+      case BinaryOp::kLe:
+        out = RV{b.emit_cmp(both_signed ? ir::CmpPred::kSle : ir::CmpPred::kUle,
+                            a.op, c.op),
+                 CType::bool_ty()};
+        return true;
+      case BinaryOp::kGt:
+        out = RV{b.emit_cmp(both_signed ? ir::CmpPred::kSgt : ir::CmpPred::kUgt,
+                            a.op, c.op),
+                 CType::bool_ty()};
+        return true;
+      case BinaryOp::kGe:
+        out = RV{b.emit_cmp(both_signed ? ir::CmpPred::kSge : ir::CmpPred::kUge,
+                            a.op, c.op),
+                 CType::bool_ty()};
+        return true;
+      default:
+        return fail(expr.line, "unhandled binary operator");
+    }
+  }
+
+  bool compile_pointer_binary(const ExprNode& expr, const RV& lhs,
+                              const RV& rhs, RV& out) {
+    Builder& b = *builder_;
+    // ptr == / != ptr (including null literals).
+    if (expr.binary_op == BinaryOp::kEq || expr.binary_op == BinaryOp::kNe) {
+      RV l = lhs, r = rhs;
+      if (!l.t.is_ptr()) {
+        if (!convert(expr.line, l, r.t, l)) return false;
+      }
+      if (!r.t.is_ptr()) {
+        if (!convert(expr.line, r, l.t, r)) return false;
+      }
+      out = RV{b.emit_cmp(expr.binary_op == BinaryOp::kEq ? ir::CmpPred::kEq
+                                                          : ir::CmpPred::kNe,
+                          l.op, r.op),
+               CType::bool_ty()};
+      return true;
+    }
+    // ptr + int / ptr - int / int + ptr.
+    const bool lhs_is_ptr = lhs.t.is_ptr();
+    const RV& ptr = lhs_is_ptr ? lhs : rhs;
+    const RV& offset = lhs_is_ptr ? rhs : lhs;
+    if (offset.t.is_ptr())
+      return fail(expr.line, "pointer-pointer arithmetic is not supported");
+    if (expr.binary_op != BinaryOp::kAdd &&
+        !(expr.binary_op == BinaryOp::kSub && lhs_is_ptr))
+      return fail(expr.line, "invalid pointer operation");
+    RV off64;
+    if (!convert(expr.line, offset, CType::int_ty(64, offset.t.is_signed),
+                 off64))
+      return false;
+    Operand scaled = b.emit_bin(ir::BinOp::kMul, off64.op,
+                                Operand::constant(ptr.t.elem_width / 8, 64));
+    if (expr.binary_op == BinaryOp::kSub)
+      scaled = b.emit_bin(ir::BinOp::kSub, Operand::constant(0, 64), scaled);
+    out = RV{b.emit_gep(ptr.op, scaled), ptr.t};
+    return true;
+  }
+
+  bool compile_logical(const ExprNode& expr, RV& out) {
+    Builder& b = *builder_;
+    const bool is_and = expr.binary_op == BinaryOp::kLogAnd;
+    const Operand tmp = b.emit_alloca(1);
+    RV lhs;
+    if (!compile_condition(*expr.a, lhs)) return false;
+    store_int(tmp, RV{lhs.op, CType::bool_ty()});
+    const std::uint32_t rhs_bb = b.fn().add_block(is_and ? "and.rhs" : "or.rhs");
+    const std::uint32_t end_bb = b.fn().add_block(is_and ? "and.end" : "or.end");
+    if (is_and)
+      b.emit_br(lhs.op, rhs_bb, end_bb);
+    else
+      b.emit_br(lhs.op, end_bb, rhs_bb);
+    b.set_insert(rhs_bb);
+    RV rhs;
+    if (!compile_condition(*expr.b, rhs)) return false;
+    store_int(tmp, RV{rhs.op, CType::bool_ty()});
+    if (!b.block_terminated()) b.emit_jmp(end_bb);
+    b.set_insert(end_bb);
+    out = load_int(tmp, CType::bool_ty());
+    return true;
+  }
+
+  bool compile_ternary(const ExprNode& expr, RV& out) {
+    Builder& b = *builder_;
+    RV cond;
+    if (!compile_condition(*expr.a, cond)) return false;
+    // Evaluate both arms into a temporary of their common type.
+    // (Arms are evaluated lazily via control flow, like C.)
+    const std::uint32_t then_bb = b.fn().add_block("sel.then");
+    const std::uint32_t else_bb = b.fn().add_block("sel.else");
+    const std::uint32_t end_bb = b.fn().add_block("sel.end");
+
+    // We need the result type before emitting stores; compile arms into
+    // separate blocks and unify afterwards is circular, so restrict the
+    // common type to u64 storage and convert on load.
+    const Operand tmp = b.emit_alloca(8);
+    b.emit_br(cond.op, then_bb, else_bb);
+
+    b.set_insert(then_bb);
+    RV then_v;
+    if (!compile_expr(*expr.b, then_v)) return false;
+    if (then_v.t.is_ptr())
+      return fail(expr.line, "ternary on pointers is not supported");
+    RV then64;
+    if (!convert(expr.line, then_v, CType::int_ty(64, then_v.t.is_signed),
+                 then64))
+      return false;
+    store_int(tmp, then64);
+    if (!b.block_terminated()) b.emit_jmp(end_bb);
+
+    b.set_insert(else_bb);
+    RV else_v;
+    if (!compile_expr(*expr.c, else_v)) return false;
+    if (else_v.t.is_ptr())
+      return fail(expr.line, "ternary on pointers is not supported");
+    RV else64;
+    if (!convert(expr.line, else_v, CType::int_ty(64, else_v.t.is_signed),
+                 else64))
+      return false;
+    store_int(tmp, else64);
+    if (!b.block_terminated()) b.emit_jmp(end_bb);
+
+    b.set_insert(end_bb);
+    const CType result =
+        common_type(RV{Operand::none(), then_v.t}, RV{Operand::none(), else_v.t});
+    RV wide = load_int(tmp, CType::int_ty(64, result.is_signed));
+    return convert(expr.line, wide, result, out);
+  }
+
+  bool compile_assign(const ExprNode& expr, RV& out) {
+    Builder& b = *builder_;
+    LV lv;
+    if (!compile_lvalue(*expr.a, lv)) return false;
+    RV value;
+    if (!compile_expr(*expr.b, value)) return false;
+
+    if (!expr.compound_assign) {
+      RV converted;
+      if (!convert(expr.line, value, lv.type, converted)) return false;
+      store_lvalue(lv, converted);
+      out = converted;
+      return true;
+    }
+
+    // Compound assignment: load, combine, store.
+    RV current;
+    if (!load_lvalue(lv, current)) return false;
+    if (lv.type.is_ptr()) {
+      // p += n / p -= n.
+      if (expr.binary_op != BinaryOp::kAdd && expr.binary_op != BinaryOp::kSub)
+        return fail(expr.line, "invalid compound assignment on a pointer");
+      RV off64;
+      if (!convert(expr.line, value, CType::int_ty(64, value.t.is_signed),
+                   off64))
+        return false;
+      Operand scaled = b.emit_bin(ir::BinOp::kMul, off64.op,
+                                  Operand::constant(lv.type.elem_width / 8, 64));
+      if (expr.binary_op == BinaryOp::kSub)
+        scaled = b.emit_bin(ir::BinOp::kSub, Operand::constant(0, 64), scaled);
+      RV updated{b.emit_gep(current.op, scaled), lv.type};
+      store_lvalue(lv, updated);
+      out = updated;
+      return true;
+    }
+
+    RV rhs_conv;
+    if (!convert(expr.line, value, lv.type, rhs_conv)) return false;
+    ir::BinOp op;
+    switch (expr.binary_op) {
+      case BinaryOp::kAdd: op = ir::BinOp::kAdd; break;
+      case BinaryOp::kSub: op = ir::BinOp::kSub; break;
+      case BinaryOp::kMul: op = ir::BinOp::kMul; break;
+      case BinaryOp::kDiv:
+        op = lv.type.is_signed ? ir::BinOp::kSDiv : ir::BinOp::kUDiv;
+        break;
+      case BinaryOp::kRem:
+        op = lv.type.is_signed ? ir::BinOp::kSRem : ir::BinOp::kURem;
+        break;
+      case BinaryOp::kAnd: op = ir::BinOp::kAnd; break;
+      case BinaryOp::kOr: op = ir::BinOp::kOr; break;
+      case BinaryOp::kXor: op = ir::BinOp::kXor; break;
+      case BinaryOp::kShl: op = ir::BinOp::kShl; break;
+      case BinaryOp::kShr:
+        op = lv.type.is_signed ? ir::BinOp::kAShr : ir::BinOp::kLShr;
+        break;
+      default:
+        return fail(expr.line, "invalid compound assignment operator");
+    }
+    RV updated{b.emit_bin(op, current.op, rhs_conv.op), lv.type};
+    store_lvalue(lv, updated);
+    out = updated;
+    return true;
+  }
+
+  bool compile_call(const ExprNode& expr, RV& out) {
+    Builder& b = *builder_;
+    // Builtins.
+    if (expr.text == "out") {
+      if (expr.args.size() != 1) return fail(expr.line, "out() takes 1 argument");
+      RV v;
+      if (!compile_expr(*expr.args[0], v)) return false;
+      if (v.t.is_ptr()) return fail(expr.line, "out() takes an integer");
+      RV v64;
+      if (!convert(expr.line, v, CType::int_ty(64, false), v64)) return false;
+      b.emit_intrinsic(ir::Intrinsic::kOut, {v64.op});
+      out = RV{Operand::constant(0, 32), CType::int_ty(32, false)};
+      return true;
+    }
+    if (expr.text == "check") {
+      if (expr.args.size() != 1)
+        return fail(expr.line, "check() takes 1 argument");
+      RV cond;
+      if (!compile_condition(*expr.args[0], cond)) return false;
+      b.emit_intrinsic(ir::Intrinsic::kAssert, {cond.op});
+      out = RV{Operand::constant(0, 32), CType::int_ty(32, false)};
+      return true;
+    }
+    if (expr.text == "stop") {
+      if (!expr.args.empty()) return fail(expr.line, "stop() takes no arguments");
+      b.emit_intrinsic(ir::Intrinsic::kAbort, {});
+      out = RV{Operand::constant(0, 32), CType::int_ty(32, false)};
+      return true;
+    }
+    if (expr.text == "checked_add" || expr.text == "checked_mul") {
+      if (expr.args.size() != 2)
+        return fail(expr.line, expr.text + "() takes 2 arguments");
+      RV lhs, rhs;
+      if (!compile_expr(*expr.args[0], lhs)) return false;
+      if (!compile_expr(*expr.args[1], rhs)) return false;
+      if (!lhs.t.is_int() || !rhs.t.is_int())
+        return fail(expr.line, expr.text + "() takes integers");
+      const CType ct = common_type(lhs, rhs);
+      RV a, c;
+      if (!convert(expr.line, lhs, ct, a)) return false;
+      if (!convert(expr.line, rhs, ct, c)) return false;
+      const Operand result = b.emit_intrinsic(
+          expr.text == "checked_add" ? ir::Intrinsic::kCheckedAdd
+                                     : ir::Intrinsic::kCheckedMul,
+          {a.op, c.op}, ct.width);
+      out = RV{result, ct};
+      return true;
+    }
+
+    auto it = functions_.find(expr.text);
+    if (it == functions_.end())
+      return fail(expr.line, "unknown function '" + expr.text + "'");
+    const FuncSig& sig = it->second;
+    if (sig.params.size() != expr.args.size())
+      return fail(expr.line, "wrong number of arguments to '" + expr.text + "'");
+    std::vector<Operand> args;
+    args.reserve(expr.args.size());
+    for (std::size_t i = 0; i < expr.args.size(); ++i) {
+      RV raw;
+      if (!compile_expr(*expr.args[i], raw)) return false;
+      // Arrays decay to pointers at call sites.
+      if (!raw.t.is_ptr() && sig.params[i].is_ptr() &&
+          expr.args[i]->kind == ExprNodeKind::kIdent) {
+        CType elem;
+        if (!compile_pointer_base(*expr.args[i], raw, elem)) return false;
+      }
+      RV conv;
+      if (!convert(expr.args[i]->line, raw, sig.params[i], conv)) return false;
+      args.push_back(conv.op);
+    }
+    const Operand result = b.emit_call(sig.index, args);
+    out = RV{result, sig.ret};
+    return true;
+  }
+
+  std::uint32_t intern_string(const std::string& text) {
+    auto it = string_globals_.find(text);
+    if (it != string_globals_.end()) return it->second;
+    ir::Global g;
+    g.name = ".str." + std::to_string(string_globals_.size());
+    g.size = text.size() + 1;  // NUL-terminated
+    g.init.assign(text.begin(), text.end());
+    g.init.push_back(0);
+    g.writable = false;
+    const std::uint32_t index = module_.add_global(std::move(g));
+    string_globals_[text] = index;
+    return index;
+  }
+
+  ir::Module& module_;
+  std::string& error_;
+  Builder* builder_ = nullptr;
+  CType current_ret_;
+  std::unordered_map<std::string, VarInfo> globals_;
+  std::unordered_map<std::string, FuncSig> functions_;
+  std::unordered_map<std::string, std::uint32_t> string_globals_;
+  std::vector<std::unordered_map<std::string, VarInfo>> scopes_;
+  std::vector<std::uint32_t> break_targets_;
+  std::vector<std::uint32_t> continue_targets_;
+};
+
+}  // namespace
+
+bool compile(const std::string& source, ir::Module& module,
+             std::string& error) {
+  Program program;
+  if (!parse_program(source, program, error)) return false;
+  Compiler compiler(module, error);
+  return compiler.run(program);
+}
+
+}  // namespace pbse::minic

@@ -1,0 +1,29 @@
+// MiniC -> Mini-IR code generation with integrated type checking.
+//
+// Calling convention: IR registers 0..N-1 of a function are its parameters
+// (the VM binds arguments there on call). Mutable integer locals live in
+// allocas; mutable pointer locals live in frame pointer-slots. Globals are
+// module byte arrays, little-endian encoded for elements wider than u8.
+//
+// Builtins available to MiniC programs:
+//   out(x)              observable output sink
+//   check(cond)         reports an assertion-failure bug when cond == 0
+//   stop()              terminates the path (normal exit)
+//   checked_add(a, b)   a + b, reporting an integer-overflow bug on wrap
+//   checked_mul(a, b)   a * b, reporting an integer-overflow bug on wrap
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+#include "lang/ast.h"
+
+namespace pbse::minic {
+
+/// Compiles `source` into `module` (which must be empty and un-finalized).
+/// On failure returns false and fills `error` with "line N: message".
+/// On success the module is left un-finalized so callers can add more.
+bool compile(const std::string& source, ir::Module& module,
+             std::string& error);
+
+}  // namespace pbse::minic

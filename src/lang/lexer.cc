@@ -1,0 +1,327 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace pbse::minic {
+
+const char* token_name(Tok kind) {
+  switch (kind) {
+    case Tok::kEof: return "end of input";
+    case Tok::kIdent: return "identifier";
+    case Tok::kNumber: return "number";
+    case Tok::kString: return "string";
+    case Tok::kCharLit: return "char literal";
+    case Tok::kKwVoid: return "void";
+    case Tok::kKwBool: return "bool";
+    case Tok::kKwU8: return "u8";
+    case Tok::kKwU16: return "u16";
+    case Tok::kKwU32: return "u32";
+    case Tok::kKwU64: return "u64";
+    case Tok::kKwI8: return "i8";
+    case Tok::kKwI16: return "i16";
+    case Tok::kKwI32: return "i32";
+    case Tok::kKwI64: return "i64";
+    case Tok::kKwIf: return "if";
+    case Tok::kKwElse: return "else";
+    case Tok::kKwWhile: return "while";
+    case Tok::kKwFor: return "for";
+    case Tok::kKwBreak: return "break";
+    case Tok::kKwContinue: return "continue";
+    case Tok::kKwReturn: return "return";
+    case Tok::kKwTrue: return "true";
+    case Tok::kKwFalse: return "false";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kLBrace: return "{";
+    case Tok::kRBrace: return "}";
+    case Tok::kLBracket: return "[";
+    case Tok::kRBracket: return "]";
+    case Tok::kComma: return ",";
+    case Tok::kSemi: return ";";
+    case Tok::kAssign: return "=";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kSlash: return "/";
+    case Tok::kPercent: return "%";
+    case Tok::kAmp: return "&";
+    case Tok::kPipe: return "|";
+    case Tok::kCaret: return "^";
+    case Tok::kTilde: return "~";
+    case Tok::kBang: return "!";
+    case Tok::kShl: return "<<";
+    case Tok::kShr: return ">>";
+    case Tok::kEq: return "==";
+    case Tok::kNe: return "!=";
+    case Tok::kLt: return "<";
+    case Tok::kLe: return "<=";
+    case Tok::kGt: return ">";
+    case Tok::kGe: return ">=";
+    case Tok::kAndAnd: return "&&";
+    case Tok::kOrOr: return "||";
+    case Tok::kPlusAssign: return "+=";
+    case Tok::kMinusAssign: return "-=";
+    case Tok::kStarAssign: return "*=";
+    case Tok::kSlashAssign: return "/=";
+    case Tok::kPercentAssign: return "%=";
+    case Tok::kAmpAssign: return "&=";
+    case Tok::kPipeAssign: return "|=";
+    case Tok::kCaretAssign: return "^=";
+    case Tok::kShlAssign: return "<<=";
+    case Tok::kShrAssign: return ">>=";
+    case Tok::kPlusPlus: return "++";
+    case Tok::kMinusMinus: return "--";
+    case Tok::kQuestion: return "?";
+    case Tok::kColon: return ":";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& keywords() {
+  static const auto* map = new std::unordered_map<std::string, Tok>{
+      {"void", Tok::kKwVoid},   {"bool", Tok::kKwBool},
+      {"u8", Tok::kKwU8},       {"u16", Tok::kKwU16},
+      {"u32", Tok::kKwU32},     {"u64", Tok::kKwU64},
+      {"i8", Tok::kKwI8},       {"i16", Tok::kKwI16},
+      {"i32", Tok::kKwI32},     {"i64", Tok::kKwI64},
+      {"if", Tok::kKwIf},       {"else", Tok::kKwElse},
+      {"while", Tok::kKwWhile}, {"for", Tok::kKwFor},
+      {"break", Tok::kKwBreak}, {"continue", Tok::kKwContinue},
+      {"return", Tok::kKwReturn},
+      {"true", Tok::kKwTrue},   {"false", Tok::kKwFalse},
+  };
+  return *map;
+}
+
+struct Cursor {
+  const std::string& src;
+  std::size_t pos = 0;
+  std::uint32_t line = 1;
+
+  bool done() const { return pos >= src.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  }
+  char take() {
+    const char c = src[pos++];
+    if (c == '\n') ++line;
+    return c;
+  }
+};
+
+bool lex_escape(Cursor& cur, std::uint64_t& value, std::string& error) {
+  if (cur.done()) {
+    error = "line " + std::to_string(cur.line) + ": unterminated escape";
+    return false;
+  }
+  const char c = cur.take();
+  switch (c) {
+    case 'n': value = '\n'; return true;
+    case 't': value = '\t'; return true;
+    case 'r': value = '\r'; return true;
+    case '0': value = '\0'; return true;
+    case '\\': value = '\\'; return true;
+    case '\'': value = '\''; return true;
+    case '"': value = '"'; return true;
+    case 'x': {
+      std::uint64_t v = 0;
+      int digits = 0;
+      while (std::isxdigit(static_cast<unsigned char>(cur.peek()))) {
+        const char h = cur.take();
+        v = v * 16 + (std::isdigit(static_cast<unsigned char>(h))
+                          ? h - '0'
+                          : std::tolower(h) - 'a' + 10);
+        ++digits;
+      }
+      if (digits == 0) {
+        error = "line " + std::to_string(cur.line) + ": \\x needs hex digits";
+        return false;
+      }
+      value = v;
+      return true;
+    }
+    default:
+      error = "line " + std::to_string(cur.line) + ": unknown escape \\" +
+              std::string(1, c);
+      return false;
+  }
+}
+
+}  // namespace
+
+bool lex(const std::string& source, std::vector<Token>& tokens,
+         std::string& error) {
+  Cursor cur{source};
+  tokens.clear();
+
+  auto push = [&tokens](Tok kind, std::uint32_t line) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+    const std::uint32_t line = cur.line;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      cur.take();
+      continue;
+    }
+    // Comments.
+    if (c == '/' && cur.peek(1) == '/') {
+      while (!cur.done() && cur.peek() != '\n') cur.take();
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      cur.take();
+      cur.take();
+      while (!cur.done() && !(cur.peek() == '*' && cur.peek(1) == '/')) cur.take();
+      if (cur.done()) {
+        error = "line " + std::to_string(line) + ": unterminated /* comment";
+        return false;
+      }
+      cur.take();
+      cur.take();
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (std::isalnum(static_cast<unsigned char>(cur.peek())) ||
+             cur.peek() == '_')
+        text += cur.take();
+      auto it = keywords().find(text);
+      Token t;
+      t.kind = it == keywords().end() ? Tok::kIdent : it->second;
+      t.text = std::move(text);
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t v = 0;
+      if (c == '0' && (cur.peek(1) == 'x' || cur.peek(1) == 'X')) {
+        cur.take();
+        cur.take();
+        if (!std::isxdigit(static_cast<unsigned char>(cur.peek()))) {
+          error = "line " + std::to_string(line) + ": 0x needs hex digits";
+          return false;
+        }
+        while (std::isxdigit(static_cast<unsigned char>(cur.peek()))) {
+          const char h = cur.take();
+          v = v * 16 + (std::isdigit(static_cast<unsigned char>(h))
+                            ? h - '0'
+                            : std::tolower(h) - 'a' + 10);
+        }
+      } else {
+        while (std::isdigit(static_cast<unsigned char>(cur.peek())))
+          v = v * 10 + (cur.take() - '0');
+      }
+      Token t;
+      t.kind = Tok::kNumber;
+      t.number = v;
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Char literal.
+    if (c == '\'') {
+      cur.take();
+      std::uint64_t v = 0;
+      if (cur.peek() == '\\') {
+        cur.take();
+        if (!lex_escape(cur, v, error)) return false;
+      } else if (!cur.done()) {
+        v = static_cast<unsigned char>(cur.take());
+      }
+      if (cur.peek() != '\'') {
+        error = "line " + std::to_string(line) + ": unterminated char literal";
+        return false;
+      }
+      cur.take();
+      Token t;
+      t.kind = Tok::kCharLit;
+      t.number = v;
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // String literal.
+    if (c == '"') {
+      cur.take();
+      std::string text;
+      while (!cur.done() && cur.peek() != '"') {
+        if (cur.peek() == '\\') {
+          cur.take();
+          std::uint64_t v = 0;
+          if (!lex_escape(cur, v, error)) return false;
+          text += static_cast<char>(v);
+        } else {
+          text += cur.take();
+        }
+      }
+      if (cur.done()) {
+        error = "line " + std::to_string(line) + ": unterminated string";
+        return false;
+      }
+      cur.take();
+      Token t;
+      t.kind = Tok::kString;
+      t.text = std::move(text);
+      t.line = line;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Operators / punctuation, longest match first.
+    auto two = [&cur]() { return std::string{cur.peek(), cur.peek(1)}; };
+    auto three = [&cur]() {
+      return std::string{cur.peek(), cur.peek(1), cur.peek(2)};
+    };
+    if (three() == "<<=") { cur.take(); cur.take(); cur.take(); push(Tok::kShlAssign, line); continue; }
+    if (three() == ">>=") { cur.take(); cur.take(); cur.take(); push(Tok::kShrAssign, line); continue; }
+    const std::string t2 = two();
+    static const std::unordered_map<std::string, Tok> two_char = {
+        {"<<", Tok::kShl}, {">>", Tok::kShr}, {"==", Tok::kEq},
+        {"!=", Tok::kNe},  {"<=", Tok::kLe},  {">=", Tok::kGe},
+        {"&&", Tok::kAndAnd}, {"||", Tok::kOrOr},
+        {"+=", Tok::kPlusAssign}, {"-=", Tok::kMinusAssign},
+        {"*=", Tok::kStarAssign}, {"/=", Tok::kSlashAssign},
+        {"%=", Tok::kPercentAssign}, {"&=", Tok::kAmpAssign},
+        {"|=", Tok::kPipeAssign}, {"^=", Tok::kCaretAssign},
+        {"++", Tok::kPlusPlus}, {"--", Tok::kMinusMinus},
+    };
+    if (auto it = two_char.find(t2); it != two_char.end()) {
+      cur.take();
+      cur.take();
+      push(it->second, line);
+      continue;
+    }
+    static const std::unordered_map<char, Tok> one_char = {
+        {'(', Tok::kLParen}, {')', Tok::kRParen}, {'{', Tok::kLBrace},
+        {'}', Tok::kRBrace}, {'[', Tok::kLBracket}, {']', Tok::kRBracket},
+        {',', Tok::kComma},  {';', Tok::kSemi},   {'=', Tok::kAssign},
+        {'+', Tok::kPlus},   {'-', Tok::kMinus},  {'*', Tok::kStar},
+        {'/', Tok::kSlash},  {'%', Tok::kPercent},{'&', Tok::kAmp},
+        {'|', Tok::kPipe},   {'^', Tok::kCaret},  {'~', Tok::kTilde},
+        {'!', Tok::kBang},   {'<', Tok::kLt},     {'>', Tok::kGt},
+        {'?', Tok::kQuestion}, {':', Tok::kColon},
+    };
+    if (auto it = one_char.find(c); it != one_char.end()) {
+      cur.take();
+      push(it->second, line);
+      continue;
+    }
+    error = "line " + std::to_string(line) + ": unexpected character '" +
+            std::string(1, c) + "'";
+    return false;
+  }
+  push(Tok::kEof, cur.line);
+  return true;
+}
+
+}  // namespace pbse::minic

@@ -1,0 +1,17 @@
+// MiniC lexer. Supports //-comments, /* */-comments, decimal and 0x
+// integer literals, char literals with the usual escapes, and strings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace pbse::minic {
+
+/// Tokenizes `source`. On a lexical error, returns false and fills `error`
+/// with a "line N: message" description.
+bool lex(const std::string& source, std::vector<Token>& tokens,
+         std::string& error);
+
+}  // namespace pbse::minic

@@ -1,0 +1,614 @@
+#include "lang/parser.h"
+
+#include <optional>
+
+#include "lang/lexer.h"
+
+namespace pbse::minic {
+
+std::string CType::to_string() const {
+  switch (k) {
+    case K::kVoid: return "void";
+    case K::kInt:
+      if (width == 1) return "bool";
+      return std::string(is_signed ? "i" : "u") + std::to_string(width);
+    case K::kPtr:
+      return std::string(elem_signed ? "i" : "u") +
+             std::to_string(elem_width) + "*";
+  }
+  return "?";
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, std::string& error)
+      : tokens_(std::move(tokens)), error_(error) {}
+
+  bool run(Program& out) {
+    while (!at(Tok::kEof)) {
+      if (!top_level(out)) return false;
+    }
+    return true;
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& ahead(std::size_t n = 1) const {
+    return tokens_[std::min(pos_ + n, tokens_.size() - 1)];
+  }
+  bool at(Tok kind) const { return cur().kind == kind; }
+  Token take() { return tokens_[pos_++]; }
+  bool accept(Tok kind) {
+    if (!at(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  bool expect(Tok kind) {
+    if (accept(kind)) return true;
+    fail(std::string("expected '") + token_name(kind) + "', got '" +
+         token_name(cur().kind) + "'");
+    return false;
+  }
+  bool fail(const std::string& msg) {
+    if (error_.empty())
+      error_ = "line " + std::to_string(cur().line) + ": " + msg;
+    return false;
+  }
+
+  static std::optional<CType> base_type_of(Tok kind) {
+    switch (kind) {
+      case Tok::kKwVoid: return CType::void_ty();
+      case Tok::kKwBool: return CType::bool_ty();
+      case Tok::kKwU8: return CType::int_ty(8, false);
+      case Tok::kKwU16: return CType::int_ty(16, false);
+      case Tok::kKwU32: return CType::int_ty(32, false);
+      case Tok::kKwU64: return CType::int_ty(64, false);
+      case Tok::kKwI8: return CType::int_ty(8, true);
+      case Tok::kKwI16: return CType::int_ty(16, true);
+      case Tok::kKwI32: return CType::int_ty(32, true);
+      case Tok::kKwI64: return CType::int_ty(64, true);
+      default: return std::nullopt;
+    }
+  }
+
+  bool at_type() const { return base_type_of(cur().kind).has_value(); }
+
+  /// type := base ('*')?
+  bool parse_type(CType& out) {
+    auto base = base_type_of(cur().kind);
+    if (!base) return fail("expected a type");
+    take();
+    out = *base;
+    if (accept(Tok::kStar)) {
+      if (!out.is_int() || out.width == 1)
+        return fail("pointers must point to u8..i64");
+      out = CType::ptr_to(out.width, out.is_signed);
+    }
+    return true;
+  }
+
+  bool top_level(Program& out) {
+    const std::uint32_t line = cur().line;
+    CType type;
+    if (!parse_type(type)) return false;
+    if (!at(Tok::kIdent)) return fail("expected a name");
+    std::string name = take().text;
+
+    if (at(Tok::kLParen)) return function_rest(out, line, type, std::move(name));
+    return global_rest(out, line, type, std::move(name));
+  }
+
+  bool global_rest(Program& out, std::uint32_t line, CType type,
+                   std::string name) {
+    GlobalDecl g;
+    g.line = line;
+    g.type = type;
+    g.name = std::move(name);
+    if (accept(Tok::kLBracket)) {
+      if (!at(Tok::kNumber)) return fail("array size must be a number");
+      g.is_array = true;
+      g.array_size = take().number;
+      if (!expect(Tok::kRBracket)) return false;
+    }
+    if (accept(Tok::kAssign)) {
+      if (!expect(Tok::kLBrace)) return false;
+      while (!at(Tok::kRBrace)) {
+        if (at(Tok::kNumber) || at(Tok::kCharLit)) {
+          g.init_list.push_back(take().number);
+        } else {
+          return fail("global initializers must be literal numbers");
+        }
+        if (!accept(Tok::kComma)) break;
+      }
+      if (!expect(Tok::kRBrace)) return false;
+    }
+    if (!expect(Tok::kSemi)) return false;
+    out.globals.push_back(std::move(g));
+    return true;
+  }
+
+  bool function_rest(Program& out, std::uint32_t line, CType ret,
+                     std::string name) {
+    FuncDecl fn;
+    fn.line = line;
+    fn.ret = ret;
+    fn.name = std::move(name);
+    if (!expect(Tok::kLParen)) return false;
+    if (!at(Tok::kRParen)) {
+      do {
+        ParamDecl p;
+        if (!parse_type(p.type)) return false;
+        if (p.type.is_void()) return fail("parameters cannot be void");
+        if (!at(Tok::kIdent)) return fail("expected parameter name");
+        p.name = take().text;
+        fn.params.push_back(std::move(p));
+      } while (accept(Tok::kComma));
+    }
+    if (!expect(Tok::kRParen)) return false;
+    fn.body = block();
+    if (fn.body == nullptr) return false;
+    out.functions.push_back(std::move(fn));
+    return true;
+  }
+
+  StmtPtr block() {
+    const std::uint32_t line = cur().line;
+    if (!expect(Tok::kLBrace)) return nullptr;
+    auto node = std::make_unique<StmtNode>();
+    node->kind = StmtNodeKind::kBlock;
+    node->line = line;
+    while (!at(Tok::kRBrace) && !at(Tok::kEof)) {
+      StmtPtr s = statement();
+      if (s == nullptr) return nullptr;
+      node->stmts.push_back(std::move(s));
+    }
+    if (!expect(Tok::kRBrace)) return nullptr;
+    return node;
+  }
+
+  StmtPtr statement() {
+    const std::uint32_t line = cur().line;
+    if (at(Tok::kLBrace)) return block();
+    if (at_type()) return declaration();
+    if (accept(Tok::kKwIf)) return if_rest(line);
+    if (accept(Tok::kKwWhile)) return while_rest(line);
+    if (accept(Tok::kKwFor)) return for_rest(line);
+    if (accept(Tok::kKwBreak)) {
+      if (!expect(Tok::kSemi)) return nullptr;
+      auto node = std::make_unique<StmtNode>();
+      node->kind = StmtNodeKind::kBreak;
+      node->line = line;
+      return node;
+    }
+    if (accept(Tok::kKwContinue)) {
+      if (!expect(Tok::kSemi)) return nullptr;
+      auto node = std::make_unique<StmtNode>();
+      node->kind = StmtNodeKind::kContinue;
+      node->line = line;
+      return node;
+    }
+    if (accept(Tok::kKwReturn)) {
+      auto node = std::make_unique<StmtNode>();
+      node->kind = StmtNodeKind::kReturn;
+      node->line = line;
+      if (!at(Tok::kSemi)) {
+        node->expr = expression();
+        if (node->expr == nullptr) return nullptr;
+      }
+      if (!expect(Tok::kSemi)) return nullptr;
+      return node;
+    }
+    // Expression statement.
+    auto node = std::make_unique<StmtNode>();
+    node->kind = StmtNodeKind::kExpr;
+    node->line = line;
+    node->expr = expression();
+    if (node->expr == nullptr) return nullptr;
+    if (!expect(Tok::kSemi)) return nullptr;
+    return node;
+  }
+
+  StmtPtr declaration() {
+    auto node = std::make_unique<StmtNode>();
+    node->kind = StmtNodeKind::kDecl;
+    node->line = cur().line;
+    if (!parse_type(node->decl_type)) return nullptr;
+    if (node->decl_type.is_void()) {
+      fail("cannot declare a void variable");
+      return nullptr;
+    }
+    if (!at(Tok::kIdent)) {
+      fail("expected variable name");
+      return nullptr;
+    }
+    node->name = take().text;
+    if (accept(Tok::kLBracket)) {
+      if (!at(Tok::kNumber)) {
+        fail("array size must be a number literal");
+        return nullptr;
+      }
+      node->is_array = true;
+      node->array_size = take().number;
+      if (!expect(Tok::kRBracket)) return nullptr;
+    }
+    if (accept(Tok::kAssign)) {
+      if (node->is_array) {
+        if (!expect(Tok::kLBrace)) return nullptr;
+        node->has_init_list = true;
+        while (!at(Tok::kRBrace)) {
+          if (at(Tok::kNumber) || at(Tok::kCharLit)) {
+            node->init_list.push_back(take().number);
+          } else {
+            fail("array initializers must be literal numbers");
+            return nullptr;
+          }
+          if (!accept(Tok::kComma)) break;
+        }
+        if (!expect(Tok::kRBrace)) return nullptr;
+      } else {
+        node->expr = expression();
+        if (node->expr == nullptr) return nullptr;
+      }
+    }
+    if (!expect(Tok::kSemi)) return nullptr;
+    return node;
+  }
+
+  StmtPtr if_rest(std::uint32_t line) {
+    auto node = std::make_unique<StmtNode>();
+    node->kind = StmtNodeKind::kIf;
+    node->line = line;
+    if (!expect(Tok::kLParen)) return nullptr;
+    node->expr = expression();
+    if (node->expr == nullptr) return nullptr;
+    if (!expect(Tok::kRParen)) return nullptr;
+    node->body = statement();
+    if (node->body == nullptr) return nullptr;
+    if (accept(Tok::kKwElse)) {
+      node->else_body = statement();
+      if (node->else_body == nullptr) return nullptr;
+    }
+    return node;
+  }
+
+  StmtPtr while_rest(std::uint32_t line) {
+    auto node = std::make_unique<StmtNode>();
+    node->kind = StmtNodeKind::kWhile;
+    node->line = line;
+    if (!expect(Tok::kLParen)) return nullptr;
+    node->expr = expression();
+    if (node->expr == nullptr) return nullptr;
+    if (!expect(Tok::kRParen)) return nullptr;
+    node->body = statement();
+    if (node->body == nullptr) return nullptr;
+    return node;
+  }
+
+  StmtPtr for_rest(std::uint32_t line) {
+    auto node = std::make_unique<StmtNode>();
+    node->kind = StmtNodeKind::kFor;
+    node->line = line;
+    if (!expect(Tok::kLParen)) return nullptr;
+    if (!accept(Tok::kSemi)) {
+      if (at_type()) {
+        node->for_init = declaration();  // consumes the ';'
+      } else {
+        auto init = std::make_unique<StmtNode>();
+        init->kind = StmtNodeKind::kExpr;
+        init->line = cur().line;
+        init->expr = expression();
+        if (init->expr == nullptr) return nullptr;
+        node->for_init = std::move(init);
+        if (!expect(Tok::kSemi)) return nullptr;
+      }
+      if (node->for_init == nullptr) return nullptr;
+    }
+    if (!at(Tok::kSemi)) {
+      node->expr = expression();
+      if (node->expr == nullptr) return nullptr;
+    }
+    if (!expect(Tok::kSemi)) return nullptr;
+    if (!at(Tok::kRParen)) {
+      node->for_step = expression();
+      if (node->for_step == nullptr) return nullptr;
+    }
+    if (!expect(Tok::kRParen)) return nullptr;
+    node->body = statement();
+    if (node->body == nullptr) return nullptr;
+    return node;
+  }
+
+  // --- Expressions, precedence climbing -------------------------------
+
+  ExprPtr expression() { return assignment(); }
+
+  ExprPtr assignment() {
+    ExprPtr lhs = ternary();
+    if (lhs == nullptr) return nullptr;
+    static const struct {
+      Tok tok;
+      BinaryOp op;
+      bool compound;
+    } kAssignOps[] = {
+        {Tok::kAssign, BinaryOp::kAdd, false},
+        {Tok::kPlusAssign, BinaryOp::kAdd, true},
+        {Tok::kMinusAssign, BinaryOp::kSub, true},
+        {Tok::kStarAssign, BinaryOp::kMul, true},
+        {Tok::kSlashAssign, BinaryOp::kDiv, true},
+        {Tok::kPercentAssign, BinaryOp::kRem, true},
+        {Tok::kAmpAssign, BinaryOp::kAnd, true},
+        {Tok::kPipeAssign, BinaryOp::kOr, true},
+        {Tok::kCaretAssign, BinaryOp::kXor, true},
+        {Tok::kShlAssign, BinaryOp::kShl, true},
+        {Tok::kShrAssign, BinaryOp::kShr, true},
+    };
+    for (const auto& entry : kAssignOps) {
+      if (at(entry.tok)) {
+        const std::uint32_t line = take().line;
+        ExprPtr rhs = assignment();  // right associative
+        if (rhs == nullptr) return nullptr;
+        auto node = std::make_unique<ExprNode>();
+        node->kind = ExprNodeKind::kAssign;
+        node->line = line;
+        node->binary_op = entry.op;
+        node->compound_assign = entry.compound;
+        node->a = std::move(lhs);
+        node->b = std::move(rhs);
+        return node;
+      }
+    }
+    return lhs;
+  }
+
+  ExprPtr ternary() {
+    ExprPtr cond = binary(0);
+    if (cond == nullptr) return nullptr;
+    if (!at(Tok::kQuestion)) return cond;
+    const std::uint32_t line = take().line;
+    ExprPtr then_e = expression();
+    if (then_e == nullptr) return nullptr;
+    if (!expect(Tok::kColon)) return nullptr;
+    ExprPtr else_e = ternary();
+    if (else_e == nullptr) return nullptr;
+    auto node = std::make_unique<ExprNode>();
+    node->kind = ExprNodeKind::kTernary;
+    node->line = line;
+    node->a = std::move(cond);
+    node->b = std::move(then_e);
+    node->c = std::move(else_e);
+    return node;
+  }
+
+  struct BinEntry {
+    Tok tok;
+    BinaryOp op;
+    int prec;
+  };
+  static const BinEntry* binary_entry(Tok kind) {
+    static const BinEntry table[] = {
+        {Tok::kOrOr, BinaryOp::kLogOr, 1},
+        {Tok::kAndAnd, BinaryOp::kLogAnd, 2},
+        {Tok::kPipe, BinaryOp::kOr, 3},
+        {Tok::kCaret, BinaryOp::kXor, 4},
+        {Tok::kAmp, BinaryOp::kAnd, 5},
+        {Tok::kEq, BinaryOp::kEq, 6},
+        {Tok::kNe, BinaryOp::kNe, 6},
+        {Tok::kLt, BinaryOp::kLt, 7},
+        {Tok::kLe, BinaryOp::kLe, 7},
+        {Tok::kGt, BinaryOp::kGt, 7},
+        {Tok::kGe, BinaryOp::kGe, 7},
+        {Tok::kShl, BinaryOp::kShl, 8},
+        {Tok::kShr, BinaryOp::kShr, 8},
+        {Tok::kPlus, BinaryOp::kAdd, 9},
+        {Tok::kMinus, BinaryOp::kSub, 9},
+        {Tok::kStar, BinaryOp::kMul, 10},
+        {Tok::kSlash, BinaryOp::kDiv, 10},
+        {Tok::kPercent, BinaryOp::kRem, 10},
+    };
+    for (const auto& e : table)
+      if (e.tok == kind) return &e;
+    return nullptr;
+  }
+
+  ExprPtr binary(int min_prec) {
+    ExprPtr lhs = unary();
+    if (lhs == nullptr) return nullptr;
+    while (true) {
+      const BinEntry* entry = binary_entry(cur().kind);
+      if (entry == nullptr || entry->prec < min_prec) return lhs;
+      const std::uint32_t line = take().line;
+      ExprPtr rhs = binary(entry->prec + 1);
+      if (rhs == nullptr) return nullptr;
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNodeKind::kBinary;
+      node->line = line;
+      node->binary_op = entry->op;
+      node->a = std::move(lhs);
+      node->b = std::move(rhs);
+      lhs = std::move(node);
+    }
+  }
+
+  ExprPtr unary() {
+    const std::uint32_t line = cur().line;
+    auto make_unary = [&](UnaryOp op, ExprPtr operand) {
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNodeKind::kUnary;
+      node->line = line;
+      node->unary_op = op;
+      node->a = std::move(operand);
+      return node;
+    };
+    if (accept(Tok::kMinus)) {
+      ExprPtr operand = unary();
+      return operand == nullptr ? nullptr
+                                : make_unary(UnaryOp::kNeg, std::move(operand));
+    }
+    if (accept(Tok::kBang)) {
+      ExprPtr operand = unary();
+      return operand == nullptr
+                 ? nullptr
+                 : make_unary(UnaryOp::kLogNot, std::move(operand));
+    }
+    if (accept(Tok::kTilde)) {
+      ExprPtr operand = unary();
+      return operand == nullptr
+                 ? nullptr
+                 : make_unary(UnaryOp::kBitNot, std::move(operand));
+    }
+    if (accept(Tok::kStar)) {
+      ExprPtr operand = unary();
+      return operand == nullptr
+                 ? nullptr
+                 : make_unary(UnaryOp::kDeref, std::move(operand));
+    }
+    if (accept(Tok::kAmp)) {
+      ExprPtr operand = unary();
+      return operand == nullptr
+                 ? nullptr
+                 : make_unary(UnaryOp::kAddrOf, std::move(operand));
+    }
+    if (accept(Tok::kPlusPlus)) {
+      ExprPtr operand = unary();
+      return operand == nullptr
+                 ? nullptr
+                 : make_unary(UnaryOp::kPreInc, std::move(operand));
+    }
+    if (accept(Tok::kMinusMinus)) {
+      ExprPtr operand = unary();
+      return operand == nullptr
+                 ? nullptr
+                 : make_unary(UnaryOp::kPreDec, std::move(operand));
+    }
+    // Cast: '(' type ')' unary  — only when the parenthesis opens a type.
+    if (at(Tok::kLParen) && base_type_of(ahead().kind).has_value()) {
+      take();  // (
+      CType type;
+      if (!parse_type(type)) return nullptr;
+      if (!expect(Tok::kRParen)) return nullptr;
+      ExprPtr operand = unary();
+      if (operand == nullptr) return nullptr;
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNodeKind::kCast;
+      node->line = line;
+      node->cast_type = type;
+      node->a = std::move(operand);
+      return node;
+    }
+    return postfix();
+  }
+
+  ExprPtr postfix() {
+    ExprPtr node = primary();
+    if (node == nullptr) return nullptr;
+    while (true) {
+      const std::uint32_t line = cur().line;
+      if (accept(Tok::kLBracket)) {
+        ExprPtr index = expression();
+        if (index == nullptr) return nullptr;
+        if (!expect(Tok::kRBracket)) return nullptr;
+        auto idx = std::make_unique<ExprNode>();
+        idx->kind = ExprNodeKind::kIndex;
+        idx->line = line;
+        idx->a = std::move(node);
+        idx->b = std::move(index);
+        node = std::move(idx);
+        continue;
+      }
+      if (accept(Tok::kPlusPlus)) {
+        auto inc = std::make_unique<ExprNode>();
+        inc->kind = ExprNodeKind::kUnary;
+        inc->line = line;
+        inc->unary_op = UnaryOp::kPostInc;
+        inc->a = std::move(node);
+        node = std::move(inc);
+        continue;
+      }
+      if (accept(Tok::kMinusMinus)) {
+        auto dec = std::make_unique<ExprNode>();
+        dec->kind = ExprNodeKind::kUnary;
+        dec->line = line;
+        dec->unary_op = UnaryOp::kPostDec;
+        dec->a = std::move(node);
+        node = std::move(dec);
+        continue;
+      }
+      return node;
+    }
+  }
+
+  ExprPtr primary() {
+    const std::uint32_t line = cur().line;
+    if (at(Tok::kNumber) || at(Tok::kCharLit)) {
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNodeKind::kNum;
+      node->line = line;
+      node->number = take().number;
+      return node;
+    }
+    if (at(Tok::kKwTrue) || at(Tok::kKwFalse)) {
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNodeKind::kNum;
+      node->line = line;
+      node->number = take().kind == Tok::kKwTrue ? 1 : 0;
+      return node;
+    }
+    if (at(Tok::kString)) {
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNodeKind::kStr;
+      node->line = line;
+      node->text = take().text;
+      return node;
+    }
+    if (at(Tok::kIdent)) {
+      std::string name = take().text;
+      if (at(Tok::kLParen)) {
+        take();
+        auto node = std::make_unique<ExprNode>();
+        node->kind = ExprNodeKind::kCall;
+        node->line = line;
+        node->text = std::move(name);
+        if (!at(Tok::kRParen)) {
+          do {
+            ExprPtr arg = expression();
+            if (arg == nullptr) return nullptr;
+            node->args.push_back(std::move(arg));
+          } while (accept(Tok::kComma));
+        }
+        if (!expect(Tok::kRParen)) return nullptr;
+        return node;
+      }
+      auto node = std::make_unique<ExprNode>();
+      node->kind = ExprNodeKind::kIdent;
+      node->line = line;
+      node->text = std::move(name);
+      return node;
+    }
+    if (accept(Tok::kLParen)) {
+      ExprPtr inner = expression();
+      if (inner == nullptr) return nullptr;
+      if (!expect(Tok::kRParen)) return nullptr;
+      return inner;
+    }
+    fail(std::string("unexpected token '") + token_name(cur().kind) + "'");
+    return nullptr;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::string& error_;
+};
+
+}  // namespace
+
+bool parse_program(const std::string& source, Program& out,
+                   std::string& error) {
+  std::vector<Token> tokens;
+  if (!lex(source, tokens, error)) return false;
+  Parser parser(std::move(tokens), error);
+  return parser.run(out);
+}
+
+}  // namespace pbse::minic

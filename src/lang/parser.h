@@ -1,0 +1,16 @@
+// Recursive-descent parser for MiniC (precedence climbing for binary
+// operators, C-like grammar).
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+#include "lang/token.h"
+
+namespace pbse::minic {
+
+/// Parses `source` into a Program. Returns false and fills `error`
+/// ("line N: message") on the first syntax error.
+bool parse_program(const std::string& source, Program& out, std::string& error);
+
+}  // namespace pbse::minic

@@ -1,0 +1,46 @@
+// Token definitions for MiniC, the C-subset language the target programs
+// are written in (the analog of "compiled to LLVM bitcode" in the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pbse::minic {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kIdent,
+  kNumber,
+  kString,   // "..." literal
+  kCharLit,  // 'x'
+  // keywords
+  kKwVoid, kKwBool, kKwU8, kKwU16, kKwU32, kKwU64,
+  kKwI8, kKwI16, kKwI32, kKwI64,
+  kKwIf, kKwElse, kKwWhile, kKwFor, kKwBreak, kKwContinue, kKwReturn,
+  kKwTrue, kKwFalse,
+  // punctuation / operators
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi,
+  kAssign,      // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kShl, kShr,   // << >>
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAndAnd, kOrOr,
+  kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign, kPercentAssign,
+  kAmpAssign, kPipeAssign, kCaretAssign, kShlAssign, kShrAssign,
+  kPlusPlus, kMinusMinus,
+  kQuestion, kColon,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;        // identifier / string contents
+  std::uint64_t number = 0;  // numeric / char literal value
+  std::uint32_t line = 0;
+};
+
+/// Printable token name for diagnostics.
+const char* token_name(Tok kind);
+
+}  // namespace pbse::minic

@@ -1,0 +1,111 @@
+#include "phase/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace pbse::phase {
+
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    std::uint32_t k, Rng& rng, std::uint32_t max_iters) {
+  KMeansResult result;
+  if (points.empty() || k == 0) return result;
+  k = std::min<std::uint32_t>(k, static_cast<std::uint32_t>(points.size()));
+  const std::size_t dims = points[0].size();
+
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centroids;
+  centroids.push_back(points[rng.below(points.size())]);
+  std::uint64_t work = 0;
+  std::vector<double> min_d2(points.size(),
+                             std::numeric_limits<double>::infinity());
+  while (centroids.size() < k) {
+    double total = 0;
+    work += points.size();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      min_d2[i] = std::min(min_d2[i],
+                           squared_distance(points[i], centroids.back()));
+      total += min_d2[i];
+    }
+    if (total <= 0) break;  // all remaining points coincide with centroids
+    double pick = rng.uniform() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      pick -= min_d2[i];
+      if (pick <= 0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+
+  std::vector<std::uint32_t> assignment(points.size(), 0);
+  for (std::uint32_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    // Assign.
+    work += points.size() * centroids.size();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::uint32_t best_c = 0;
+      for (std::uint32_t c = 0; c < centroids.size(); ++c) {
+        const double d = squared_distance(points[i], centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (assignment[i] != best_c) {
+        assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update.
+    std::vector<std::vector<double>> sums(centroids.size(),
+                                          std::vector<double>(dims, 0.0));
+    std::vector<std::uint32_t> counts(centroids.size(), 0);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      ++counts[assignment[i]];
+      for (std::size_t d = 0; d < dims; ++d)
+        sums[assignment[i]][d] += points[i][d];
+    }
+    for (std::uint32_t c = 0; c < centroids.size(); ++c) {
+      if (counts[c] == 0) continue;  // empty clusters keep their centroid
+      for (std::size_t d = 0; d < dims; ++d)
+        centroids[c][d] = sums[c][d] / counts[c];
+    }
+  }
+
+  // Compact away empty clusters.
+  std::vector<std::uint32_t> used_count(centroids.size(), 0);
+  for (std::uint32_t c : assignment) ++used_count[c];
+  std::vector<std::uint32_t> remap(centroids.size(), 0);
+  std::uint32_t next = 0;
+  for (std::uint32_t c = 0; c < centroids.size(); ++c)
+    if (used_count[c] > 0) remap[c] = next++;
+  KMeansResult out;
+  out.assignment.resize(points.size());
+  out.centroids.reserve(next);
+  for (std::uint32_t c = 0; c < centroids.size(); ++c)
+    if (used_count[c] > 0) out.centroids.push_back(std::move(centroids[c]));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    out.assignment[i] = remap[assignment[i]];
+    out.inertia += squared_distance(points[i], out.centroids[out.assignment[i]]);
+  }
+  out.work = work;
+  return out;
+}
+
+}  // namespace pbse::phase

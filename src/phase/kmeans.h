@@ -1,0 +1,33 @@
+// Lloyd's k-means with k-means++ seeding, deterministic under a fixed Rng.
+// Used to cluster normalized BBVs into program phases (paper Sec. III-B1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace pbse::phase {
+
+struct KMeansResult {
+  /// Cluster index per input point.
+  std::vector<std::uint32_t> assignment;
+  std::vector<std::vector<double>> centroids;
+  /// Sum of squared distances to assigned centroids.
+  double inertia = 0.0;
+  /// Point-centroid distance computations performed (deterministic work
+  /// measure; pbSE charges it to the virtual clock as "p-time").
+  std::uint64_t work = 0;
+};
+
+/// Clusters `points` (all of equal dimension) into at most `k` clusters.
+/// If there are fewer distinct points than k, fewer clusters are produced
+/// (empty clusters are dropped and indices compacted).
+KMeansResult kmeans(const std::vector<std::vector<double>>& points,
+                    std::uint32_t k, Rng& rng, std::uint32_t max_iters = 64);
+
+/// Squared Euclidean distance (exposed for tests).
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace pbse::phase

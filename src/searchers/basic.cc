@@ -1,0 +1,104 @@
+// DFS, BFS, and random-state searchers.
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+#include "searchers/searcher.h"
+
+namespace pbse::search {
+
+namespace {
+
+/// Depth-first: always run the most recently created state.
+class DFSSearcher final : public Searcher {
+ public:
+  vm::ExecutionState* select() override { return states_.back(); }
+
+  void update(vm::ExecutionState*,
+              const std::vector<vm::ExecutionState*>& added,
+              const std::vector<vm::ExecutionState*>& removed) override {
+    for (auto* s : added) states_.push_back(s);
+    for (auto* s : removed)
+      states_.erase(std::remove(states_.begin(), states_.end(), s),
+                    states_.end());
+  }
+
+  bool empty() const override { return states_.empty(); }
+  std::string name() const override { return "dfs"; }
+
+ private:
+  std::vector<vm::ExecutionState*> states_;
+};
+
+/// Breadth-first: always run the oldest state.
+class BFSSearcher final : public Searcher {
+ public:
+  vm::ExecutionState* select() override { return states_.front(); }
+
+  void update(vm::ExecutionState* current,
+              const std::vector<vm::ExecutionState*>& added,
+              const std::vector<vm::ExecutionState*>& removed) override {
+    // KLEE's BFS demotes the current state when it forks so siblings run
+    // first; approximating with strict FIFO on forks.
+    bool forked = !added.empty() && current != nullptr;
+    for (auto* s : added) states_.push_back(s);
+    for (auto* s : removed) {
+      auto it = std::find(states_.begin(), states_.end(), s);
+      if (it != states_.end()) states_.erase(it);
+      if (s == current) forked = false;
+    }
+    if (forked && states_.front() == current) {
+      states_.pop_front();
+      states_.push_back(current);
+    }
+  }
+
+  bool empty() const override { return states_.empty(); }
+  std::string name() const override { return "bfs"; }
+
+ private:
+  std::deque<vm::ExecutionState*> states_;
+};
+
+/// Uniformly random over all live states.
+class RandomStateSearcher final : public Searcher {
+ public:
+  explicit RandomStateSearcher(Rng& rng) : rng_(rng) {}
+
+  vm::ExecutionState* select() override {
+    return states_[rng_.below(states_.size())];
+  }
+
+  void update(vm::ExecutionState*,
+              const std::vector<vm::ExecutionState*>& added,
+              const std::vector<vm::ExecutionState*>& removed) override {
+    for (auto* s : added) states_.push_back(s);
+    for (auto* s : removed) {
+      auto it = std::find(states_.begin(), states_.end(), s);
+      assert(it != states_.end());
+      *it = states_.back();
+      states_.pop_back();
+    }
+  }
+
+  bool empty() const override { return states_.empty(); }
+  std::string name() const override { return "random-state"; }
+
+ private:
+  Rng& rng_;
+  std::vector<vm::ExecutionState*> states_;
+};
+
+}  // namespace
+
+std::unique_ptr<Searcher> make_dfs_searcher() {
+  return std::make_unique<DFSSearcher>();
+}
+std::unique_ptr<Searcher> make_bfs_searcher() {
+  return std::make_unique<BFSSearcher>();
+}
+std::unique_ptr<Searcher> make_random_state_searcher(Rng& rng) {
+  return std::make_unique<RandomStateSearcher>(rng);
+}
+
+}  // namespace pbse::search

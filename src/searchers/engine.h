@@ -1,0 +1,49 @@
+// The symbolic-execution run loop: owns the state population, drives the
+// executor one instruction batch at a time, and keeps the searcher
+// informed — KLEE's Executor::run() skeleton.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "searchers/searcher.h"
+#include "support/vclock.h"
+#include "vm/executor.h"
+
+namespace pbse::search {
+
+struct EngineOptions {
+  /// Instructions run per select() before consulting the searcher again
+  /// (forks and terminations re-consult immediately).
+  std::uint64_t batch_instructions = 32;
+};
+
+class SymbolicEngine {
+ public:
+  SymbolicEngine(vm::Executor& executor, Searcher& searcher,
+                 EngineOptions options = {})
+      : executor_(executor), searcher_(searcher), options_(options) {}
+
+  /// Transfers a state into the engine (and announces it to the searcher).
+  void add_state(std::unique_ptr<vm::ExecutionState> state);
+
+  /// Runs until the deadline expires, no states remain, or `extra_stop`
+  /// returns true (checked between batches). Returns instructions executed.
+  std::uint64_t run(const Deadline& deadline,
+                    const std::function<bool()>& extra_stop = {});
+
+  std::size_t num_states() const { return states_.size(); }
+  vm::Executor& executor() { return executor_; }
+
+ private:
+  void after_step(vm::ExecutionState& state);
+
+  vm::Executor& executor_;
+  Searcher& searcher_;
+  EngineOptions options_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<vm::ExecutionState>>
+      states_;
+};
+
+}  // namespace pbse::search

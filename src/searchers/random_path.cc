@@ -1,0 +1,134 @@
+// Random-path searcher: KLEE's PTree walk. Maintains the binary execution
+// tree of all live states and selects by walking from the root, picking a
+// random direction at every interior node — biasing selection toward
+// states high in the tree (short paths), which is what gives random-path
+// its coverage behaviour in the paper's Table I.
+#include <cassert>
+#include <memory>
+#include <unordered_map>
+
+#include "searchers/searcher.h"
+
+namespace pbse::search {
+
+namespace {
+
+struct PNode {
+  PNode* parent = nullptr;
+  std::unique_ptr<PNode> left;   // original state after a fork
+  std::unique_ptr<PNode> right;  // forked child
+  vm::ExecutionState* state = nullptr;  // non-null iff leaf with live state
+  std::uint32_t live = 0;  // live leaves in this subtree
+};
+
+class RandomPathSearcher final : public Searcher {
+ public:
+  explicit RandomPathSearcher(Rng& rng) : rng_(rng) {
+    root_ = std::make_unique<PNode>();
+  }
+
+  vm::ExecutionState* select() override {
+    PNode* node = root_.get();
+    assert(node->live > 0);
+    while (node->state == nullptr) {
+      const std::uint32_t left_live =
+          node->left != nullptr ? node->left->live : 0;
+      const std::uint32_t right_live =
+          node->right != nullptr ? node->right->live : 0;
+      assert(left_live + right_live > 0);
+      if (left_live == 0) {
+        node = node->right.get();
+      } else if (right_live == 0) {
+        node = node->left.get();
+      } else {
+        // Uniform coin flip per interior node — KLEE's PTree behaviour.
+        node = rng_.below(2) == 0 ? node->left.get() : node->right.get();
+      }
+    }
+    return node->state;
+  }
+
+  void update(vm::ExecutionState*,
+              const std::vector<vm::ExecutionState*>& added,
+              const std::vector<vm::ExecutionState*>& removed) override {
+    for (auto* s : added) insert(s);
+    for (auto* s : removed) erase(s);
+  }
+
+  bool empty() const override { return root_->live == 0; }
+  std::string name() const override { return "random-path"; }
+
+ private:
+  void bump(PNode* node, std::int32_t delta) {
+    for (; node != nullptr; node = node->parent)
+      node->live = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(node->live) + delta);
+  }
+
+  void insert(vm::ExecutionState* s) {
+    auto parent_it = leaf_of_.find(s->parent_id);
+    if (parent_it == leaf_of_.end()) {
+      // The initial state (or a state whose parent is already gone):
+      // attach to the root if it is a fresh tree, else to a new right spine.
+      PNode* leaf = attach_fresh_leaf();
+      leaf->state = s;
+      leaf_of_[s->id] = leaf;
+      bump(leaf, +1);
+      return;
+    }
+    // Split the parent's leaf into two children.
+    PNode* leaf = parent_it->second;
+    assert(leaf->state != nullptr);
+    vm::ExecutionState* parent_state = leaf->state;
+    leaf->state = nullptr;
+    leaf->left = std::make_unique<PNode>();
+    leaf->left->parent = leaf;
+    leaf->left->state = parent_state;
+    leaf->left->live = 1;
+    leaf->right = std::make_unique<PNode>();
+    leaf->right->parent = leaf;
+    leaf->right->state = s;
+    leaf->right->live = 1;
+    leaf_of_[parent_state->id] = leaf->left.get();
+    leaf_of_[s->id] = leaf->right.get();
+    bump(leaf, +1);  // leaf itself already counted one live leaf
+  }
+
+  PNode* attach_fresh_leaf() {
+    if (root_->state == nullptr && root_->left == nullptr &&
+        root_->right == nullptr)
+      return root_.get();
+    // Rare fallback: graft under a new root.
+    auto new_root = std::make_unique<PNode>();
+    new_root->left = std::move(root_);
+    new_root->left->parent = new_root.get();
+    new_root->right = std::make_unique<PNode>();
+    new_root->right->parent = new_root.get();
+    new_root->live = new_root->left->live;
+    root_ = std::move(new_root);
+    return root_->right.get();
+  }
+
+  void erase(vm::ExecutionState* s) {
+    auto it = leaf_of_.find(s->id);
+    assert(it != leaf_of_.end());
+    PNode* leaf = it->second;
+    leaf->state = nullptr;
+    leaf_of_.erase(it);
+    bump(leaf, -1);
+    // Dead subtrees are left in place (live == 0 prunes them from walks);
+    // KLEE does the same and prunes lazily.
+  }
+
+  Rng& rng_;
+  std::unique_ptr<PNode> root_;
+  std::unordered_map<std::uint64_t, PNode*> leaf_of_;
+};
+
+}  // namespace
+
+std::unique_ptr<Searcher> make_random_path_searcher(Rng& rng) {
+  return std::make_unique<RandomPathSearcher>(rng);
+}
+
+}  // namespace pbse::search

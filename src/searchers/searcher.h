@@ -1,0 +1,56 @@
+// State-selection strategies — the searchers the paper benchmarks KLEE
+// with in Table I: dfs, bfs, random-state, random-path, covnew, md2u, and
+// the default interleaved (random-path + covnew) searcher.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "vm/executor.h"
+#include "vm/state.h"
+
+namespace pbse::search {
+
+/// Strategy interface (KLEE's Searcher). The engine owns the states; the
+/// searcher only tracks raw pointers it receives via update().
+class Searcher {
+ public:
+  virtual ~Searcher() = default;
+
+  /// Picks the next state to run. Precondition: !empty().
+  virtual vm::ExecutionState* select() = 0;
+
+  /// Informs the searcher of population changes. `current` is the state
+  /// that just ran (may be in `removed`).
+  virtual void update(vm::ExecutionState* current,
+                      const std::vector<vm::ExecutionState*>& added,
+                      const std::vector<vm::ExecutionState*>& removed) = 0;
+
+  virtual bool empty() const = 0;
+  virtual std::string name() const = 0;
+};
+
+enum class SearcherKind {
+  kDFS,
+  kBFS,
+  kRandomState,
+  kRandomPath,
+  kCovNew,
+  kMD2U,
+  kDefault,  // interleaved random-path + covnew (KLEE's default)
+};
+
+const char* searcher_kind_name(SearcherKind kind);
+
+/// Parses "dfs" / "bfs" / "random-state" / "random-path" / "covnew" /
+/// "md2u" / "default". Returns false on unknown names.
+bool parse_searcher_kind(const std::string& name, SearcherKind& out);
+
+/// Creates a searcher. `executor` supplies coverage information for the
+/// heuristic searchers; `rng` drives the randomized ones.
+std::unique_ptr<Searcher> make_searcher(SearcherKind kind,
+                                        vm::Executor& executor, Rng& rng);
+
+}  // namespace pbse::search

@@ -1,0 +1,107 @@
+// Weighted-random searchers: covnew and md2u (KLEE's WeightedRandomSearcher
+// with the CoveringNew and MinDistToUncovered weight functions).
+//
+// md2u weights states by the inverse squared CFG distance from their
+// current block to the nearest uncovered block; covnew additionally decays
+// with the number of instructions executed since the state last covered
+// new code. Distances are recomputed lazily when coverage changes.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "ir/cfg.h"
+#include "searchers/searcher.h"
+
+namespace pbse::search {
+
+namespace {
+
+class WeightedSearcher final : public Searcher {
+ public:
+  enum class Weight { kCovNew, kMD2U };
+
+  WeightedSearcher(Weight weight, vm::Executor& executor, Rng& rng)
+      : weight_(weight),
+        executor_(executor),
+        rng_(rng),
+        graph_(executor.module()),
+        distance_(graph_) {}
+
+  vm::ExecutionState* select() override {
+    refresh_distances();
+    double total = 0;
+    weights_.resize(states_.size());
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      weights_[i] = state_weight(*states_[i]);
+      total += weights_[i];
+    }
+    if (total <= 0) return states_[rng_.below(states_.size())];
+    double pick = rng_.uniform() * total;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      pick -= weights_[i];
+      if (pick <= 0) return states_[i];
+    }
+    return states_.back();
+  }
+
+  void update(vm::ExecutionState*,
+              const std::vector<vm::ExecutionState*>& added,
+              const std::vector<vm::ExecutionState*>& removed) override {
+    for (auto* s : added) states_.push_back(s);
+    for (auto* s : removed) {
+      auto it = std::find(states_.begin(), states_.end(), s);
+      assert(it != states_.end());
+      *it = states_.back();
+      states_.pop_back();
+    }
+  }
+
+  bool empty() const override { return states_.empty(); }
+  std::string name() const override {
+    return weight_ == Weight::kCovNew ? "covnew" : "md2u";
+  }
+
+ private:
+  void refresh_distances() {
+    if (executor_.coverage_epoch() == last_epoch_) return;
+    distance_.recompute(executor_.covered());
+    last_epoch_ = executor_.coverage_epoch();
+  }
+
+  double state_weight(const vm::ExecutionState& s) const {
+    const std::uint32_t d = distance_.distance(s.current_global_bb());
+    const double dist =
+        d == ir::DistanceToUncovered::kUnreachable ? 10000.0 : double(d);
+    const double inv_md2u = 1.0 / (1.0 + dist);
+    if (weight_ == Weight::kMD2U) return inv_md2u * inv_md2u;
+    // covnew: favour states that recently covered new code.
+    const double freshness =
+        1.0 / (1.0 + static_cast<double>(s.insts_since_cov_new));
+    return freshness * inv_md2u;
+  }
+
+  Weight weight_;
+  vm::Executor& executor_;
+  Rng& rng_;
+  ir::BlockGraph graph_;
+  ir::DistanceToUncovered distance_;
+  std::uint64_t last_epoch_ = ~std::uint64_t{0};
+  std::vector<vm::ExecutionState*> states_;
+  std::vector<double> weights_;
+};
+
+}  // namespace
+
+std::unique_ptr<Searcher> make_covnew_searcher(vm::Executor& executor,
+                                               Rng& rng) {
+  return std::make_unique<WeightedSearcher>(WeightedSearcher::Weight::kCovNew,
+                                            executor, rng);
+}
+
+std::unique_ptr<Searcher> make_md2u_searcher(vm::Executor& executor,
+                                             Rng& rng) {
+  return std::make_unique<WeightedSearcher>(WeightedSearcher::Weight::kMD2U,
+                                            executor, rng);
+}
+
+}  // namespace pbse::search

@@ -1,0 +1,57 @@
+// Query caches (KLEE's counterexample-cache analog, exact-match variant).
+//
+// Key = order-insensitive constraint-set hash combined with the query hash.
+// SAT entries store the satisfying model and are re-verified on hit, so a
+// hash collision can only cost a cache miss, never a wrong SAT answer.
+// UNSAT entries are trusted by hash (a 64-bit collision is accepted risk).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+
+namespace pbse {
+
+enum class SolverResult { kSat, kUnsat, kUnknown };
+
+/// Exact-match solver cache.
+class QueryCache {
+ public:
+  struct Entry {
+    SolverResult result = SolverResult::kUnknown;
+    // Model stored per array (only for SAT entries).
+    std::vector<std::pair<ArrayRef, std::vector<std::uint8_t>>> model;
+  };
+
+  /// Looks up a query. On a SAT hit the stored model is re-checked against
+  /// `constraints` (which must already include the query); an invalidated
+  /// entry counts as a miss.
+  const Entry* lookup(std::uint64_t key,
+                      const std::vector<ExprRef>& constraints) const {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return nullptr;
+    const Entry& e = it->second;
+    if (e.result == SolverResult::kSat) {
+      Assignment a;
+      for (const auto& [array, bytes] : e.model) a.set(array, bytes);
+      for (const auto& c : constraints)
+        if (!evaluate_bool(c, a)) return nullptr;
+    }
+    return &e;
+  }
+
+  void insert(std::uint64_t key, Entry entry) {
+    entries_[key] = std::move(entry);
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace pbse

@@ -1,0 +1,26 @@
+#include "solver/constraint_set.h"
+
+#include <cassert>
+
+namespace pbse {
+
+bool ConstraintSet::add(const ExprRef& c) {
+  assert(c->width() == 1);
+  if (c->is_true()) return true;
+  if (c->is_false()) return false;
+  if (!present_.insert(c.get()).second) return true;
+  constraints_.push_back(c);
+  // XOR-combining keeps the hash order-insensitive; multiply-mix first so
+  // equal-hash constraints don't cancel.
+  std::uint64_t h = c->hash();
+  h *= 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  hash_ ^= h;
+  return true;
+}
+
+bool ConstraintSet::contains(const ExprRef& c) const {
+  return present_.count(c.get()) != 0;
+}
+
+}  // namespace pbse

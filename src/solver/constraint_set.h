@@ -1,0 +1,41 @@
+// Path-constraint container: an ordered, deduplicated set of width-1
+// expressions, with an incremental hash used as a cache key.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace pbse {
+
+/// The conjunction of branch conditions accumulated along one path.
+/// Value type: copied on state fork (the ExprRefs themselves are shared).
+class ConstraintSet {
+ public:
+  /// Adds `c` (width 1). Trivially-true constraints and duplicates are
+  /// dropped. Returns false iff `c` is the literal false constant (caller
+  /// should kill the state).
+  bool add(const ExprRef& c);
+
+  const std::vector<ExprRef>& constraints() const { return constraints_; }
+  std::size_t size() const { return constraints_.size(); }
+  bool empty() const { return constraints_.empty(); }
+
+  /// Order-insensitive hash over the contained constraints, usable as a
+  /// cache key together with a query hash.
+  std::uint64_t hash() const { return hash_; }
+
+  /// True if `c` is syntactically present.
+  bool contains(const ExprRef& c) const;
+
+ private:
+  std::vector<ExprRef> constraints_;
+  /// Hash-consing makes structural equality pointer equality, so presence
+  /// checks are a pointer-set lookup.
+  std::unordered_set<const Expr*> present_;
+  std::uint64_t hash_ = 0x243f6a8885a308d3ULL;
+};
+
+}  // namespace pbse

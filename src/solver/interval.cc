@@ -1,0 +1,425 @@
+#include "solver/interval.h"
+
+#include "expr/evaluator.h"
+
+namespace pbse {
+
+std::vector<std::uint8_t> ByteDomain::values() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(allowed_.count());
+  for (unsigned v = 0; v < 256; ++v)
+    if (allowed_[v]) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+namespace {
+
+// Recursive matcher for byte assemblies. `shift` is the bit position the
+// current subexpression occupies within the whole assembled value.
+// Depth-capped: real assemblies are at most a few levels deep, and the
+// cap keeps kilonode accumulator chains off the C++ stack.
+bool match_assembly_impl(const ExprRef& e, unsigned shift,
+                         std::vector<ByteLane>& lanes, unsigned depth = 0) {
+  if (depth > 64) return false;
+  switch (e->kind()) {
+    case ExprKind::kRead:
+      lanes.push_back(ByteLane{e->array(), e->read_index(), shift});
+      return true;
+    case ExprKind::kZExt:
+      return match_assembly_impl(e->kid(0), shift, lanes, depth + 1);
+    case ExprKind::kConcat:
+      return match_assembly_impl(e->kid(1), shift, lanes, depth + 1) &&
+             match_assembly_impl(e->kid(0), shift + e->kid(1)->width(), lanes,
+                                 depth + 1);
+    case ExprKind::kShl: {
+      if (!e->kid(1)->is_constant()) return false;
+      const unsigned amount =
+          static_cast<unsigned>(e->kid(1)->constant_value());
+      return match_assembly_impl(e->kid(0), shift + amount, lanes, depth + 1);
+    }
+    case ExprKind::kOr:
+    case ExprKind::kAdd:  // Or and Add coincide when lanes don't overlap
+      return match_assembly_impl(e->kid(0), shift, lanes, depth + 1) &&
+             match_assembly_impl(e->kid(1), shift, lanes, depth + 1);
+    default:
+      return false;
+  }
+}
+
+bool lanes_disjoint(const std::vector<ByteLane>& lanes) {
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    for (std::size_t j = i + 1; j < lanes.size(); ++j) {
+      // Overlapping bit ranges would break the per-lane decomposition.
+      const unsigned a0 = lanes[i].bit_offset, a1 = a0 + 8;
+      const unsigned b0 = lanes[j].bit_offset, b1 = b0 + 8;
+      if (a0 < b1 && b0 < a1) return false;
+      // The same byte appearing twice is also not a plain assembly.
+      if (lanes[i].array.get() == lanes[j].array.get() &&
+          lanes[i].index == lanes[j].index)
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool match_byte_assembly(const ExprRef& e, std::vector<ByteLane>& lanes) {
+  lanes.clear();
+  if (!match_assembly_impl(e, 0, lanes)) return false;
+  return !lanes.empty() && lanes_disjoint(lanes);
+}
+
+namespace {
+
+/// Pins every lane of an assembly to the corresponding byte of `value`.
+/// Bits of `value` not covered by any lane must be zero (the assembly
+/// cannot produce them); otherwise the equality is UNSAT.
+bool pin_assembly(const ExprRef& e, std::uint64_t value, DomainMap& domains,
+                  bool& unsat) {
+  std::vector<ByteLane> lanes;
+  if (!match_byte_assembly(e, lanes)) return false;
+  std::uint64_t covered = 0;
+  for (const auto& lane : lanes)
+    covered |= std::uint64_t{0xff} << lane.bit_offset;
+  covered = truncate_to_width(covered, e->width());
+  if ((value & ~covered) != 0) {
+    unsat = true;
+    return true;
+  }
+  for (const auto& lane : lanes) {
+    const auto byte = static_cast<std::uint8_t>((value >> lane.bit_offset) & 0xff);
+    ByteDomain& d = domains.domain(lane.array.get(), lane.index);
+    if (!d.allows(byte)) {
+      unsat = true;
+      return true;
+    }
+    d.pin(byte);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool pin_equality(const ExprRef& e, std::uint64_t value, DomainMap& domains,
+                  bool& unsat, unsigned depth) {
+  if (depth > 512) return false;  // deep peel chains: leave to the search
+  value = truncate_to_width(value, e->width());
+  switch (e->kind()) {
+    case ExprKind::kConstant:
+      if (e->constant_value() != value) unsat = true;
+      return true;
+    case ExprKind::kRead: {
+      const auto byte = static_cast<std::uint8_t>(value);
+      ByteDomain& d = domains.domain(e->array().get(), e->read_index());
+      if (!d.allows(byte)) {
+        unsat = true;
+        return true;
+      }
+      d.pin(byte);
+      return true;
+    }
+    case ExprKind::kZExt: {
+      const ExprRef& src = e->kid(0);
+      if (src->width() < 64 && value >> src->width() != 0) {
+        unsat = true;
+        return true;
+      }
+      return pin_equality(src, value, domains, unsat, depth + 1);
+    }
+    case ExprKind::kSExt: {
+      const ExprRef& src = e->kid(0);
+      const std::uint64_t low = truncate_to_width(value, src->width());
+      if (truncate_to_width(
+              static_cast<std::uint64_t>(sign_extend(low, src->width())),
+              e->width()) != value) {
+        unsat = true;
+        return true;
+      }
+      return pin_equality(src, low, domains, unsat, depth + 1);
+    }
+    case ExprKind::kConcat: {
+      const ExprRef& hi = e->kid(0);
+      const ExprRef& lo = e->kid(1);
+      bool hi_unsat = false, lo_unsat = false;
+      const bool ok =
+          pin_equality(hi, value >> lo->width(), domains, hi_unsat,
+                       depth + 1) &&
+          pin_equality(lo, truncate_to_width(value, lo->width()), domains,
+                       lo_unsat, depth + 1);
+      unsat = unsat || hi_unsat || lo_unsat;
+      return ok;
+    }
+    case ExprKind::kAdd: {
+      // Canonicalization puts a constant operand on the right.
+      if (e->kid(1)->is_constant())
+        return pin_equality(e->kid(0), value - e->kid(1)->constant_value(),
+                            domains, unsat);
+      return pin_assembly(e, value, domains, unsat);
+    }
+    case ExprKind::kShl:
+    case ExprKind::kMul: {
+      if (!e->kid(1)->is_constant()) return false;
+      std::uint64_t m = e->kid(1)->constant_value();
+      unsigned k = 0;
+      if (e->kind() == ExprKind::kShl) {
+        k = static_cast<unsigned>(m);
+      } else {
+        if (m == 0 || (m & (m - 1)) != 0) return false;  // not a power of 2
+        while ((m >>= 1) != 0) ++k;
+      }
+      if (k >= e->width()) {
+        if (value != 0) unsat = true;
+        return true;
+      }
+      // Only sound when no solution bits are shifted out: require the
+      // operand to be a zero-extension narrower than width - k.
+      const ExprRef& x = e->kid(0);
+      if (x->kind() != ExprKind::kZExt ||
+          x->kid(0)->width() + k > e->width())
+        return false;
+      if (truncate_to_width(value, k) != 0) {
+        unsat = true;
+        return true;
+      }
+      return pin_equality(x, value >> k, domains, unsat, depth + 1);
+    }
+    case ExprKind::kOr:
+      return pin_assembly(e, value, domains, unsat);
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+/// Computes one node's range assuming kid ranges are memoized (iterative
+/// post-order driver below; chains outgrow the C++ stack).
+URange interval_node(const ExprRef& e, const DomainMap& domains,
+                     std::unordered_map<const Expr*, URange>& memo) {
+  auto interval_of_memo = [&memo](const ExprRef& kid,
+                                  const DomainMap&) -> URange {
+    return memo.at(kid.get());
+  };
+  (void)interval_of_memo;
+  const std::uint64_t full =
+      truncate_to_width(~std::uint64_t{0}, e->width());
+  const URange top{0, full};
+  switch (e->kind()) {
+    case ExprKind::kConstant:
+      return {e->constant_value(), e->constant_value()};
+    case ExprKind::kRead: {
+      const ByteDomain* d = domains.find(e->array().get(), e->read_index());
+      if (d == nullptr || d->empty()) return {0, 255};
+      const auto values = d->values();
+      return {values.front(), values.back()};
+    }
+    case ExprKind::kZExt:
+      return memo.at(e->kid(0).get());
+    case ExprKind::kConcat: {
+      const URange hi = memo.at(e->kid(0).get());
+      const URange lo = memo.at(e->kid(1).get());
+      const unsigned w = e->kid(1)->width();
+      return {(hi.lo << w) | lo.lo, (hi.hi << w) | lo.hi};
+    }
+    case ExprKind::kAdd: {
+      const URange a = memo.at(e->kid(0).get());
+      const URange b = memo.at(e->kid(1).get());
+      // Overflow at width w -> widen to full range.
+      if (a.hi > full - b.hi) return top;
+      return {a.lo + b.lo, a.hi + b.hi};
+    }
+    case ExprKind::kMul: {
+      const URange a = memo.at(e->kid(0).get());
+      const URange b = memo.at(e->kid(1).get());
+      if (b.hi != 0 && a.hi > full / b.hi) return top;
+      return {a.lo * b.lo, a.hi * b.hi};
+    }
+    case ExprKind::kShl: {
+      if (!e->kid(1)->is_constant()) return top;
+      const unsigned k = static_cast<unsigned>(e->kid(1)->constant_value());
+      const URange a = memo.at(e->kid(0).get());
+      if (k >= e->width() || a.hi > (full >> k)) return top;
+      return {a.lo << k, a.hi << k};
+    }
+    case ExprKind::kLShr: {
+      if (!e->kid(1)->is_constant()) return top;
+      const unsigned k = static_cast<unsigned>(e->kid(1)->constant_value());
+      const URange a = memo.at(e->kid(0).get());
+      if (k >= e->width()) return {0, 0};
+      return {a.lo >> k, a.hi >> k};
+    }
+    case ExprKind::kOr: {
+      // Disjoint-lane Or is bounded by the sum; generic Or by bitwise max.
+      const URange a = memo.at(e->kid(0).get());
+      const URange b = memo.at(e->kid(1).get());
+      const std::uint64_t hi =
+          (a.hi > full - b.hi) ? full : a.hi + b.hi;
+      return {std::max(a.lo, b.lo), hi};
+    }
+    case ExprKind::kAnd: {
+      const URange a = memo.at(e->kid(0).get());
+      const URange b = memo.at(e->kid(1).get());
+      return {0, std::min(a.hi, b.hi)};
+    }
+    case ExprKind::kUDiv: {
+      if (!e->kid(1)->is_constant() || e->kid(1)->constant_value() == 0)
+        return top;
+      const URange a = memo.at(e->kid(0).get());
+      const std::uint64_t d = e->kid(1)->constant_value();
+      return {a.lo / d, a.hi / d};
+    }
+    case ExprKind::kEq: {
+      const URange a = memo.at(e->kid(0).get());
+      const URange b = memo.at(e->kid(1).get());
+      if (a.hi < b.lo || b.hi < a.lo) return {0, 0};  // disjoint: never equal
+      if (a.lo == a.hi && b.lo == b.hi && a.lo == b.lo) return {1, 1};
+      return {0, 1};
+    }
+    case ExprKind::kUlt: {
+      const URange a = memo.at(e->kid(0).get());
+      const URange b = memo.at(e->kid(1).get());
+      if (a.hi < b.lo) return {1, 1};
+      if (a.lo >= b.hi) return {0, 0};
+      return {0, 1};
+    }
+    case ExprKind::kUle: {
+      const URange a = memo.at(e->kid(0).get());
+      const URange b = memo.at(e->kid(1).get());
+      if (a.hi <= b.lo) return {1, 1};
+      if (a.lo > b.hi) return {0, 0};
+      return {0, 1};
+    }
+    case ExprKind::kXor: {
+      // Xor with constant true is logical not (the common width-1 case).
+      if (e->width() == 1) {
+        const URange a = memo.at(e->kid(0).get());
+        if (e->kid(1)->is_true()) {
+          if (a.lo == a.hi) return {1 - a.lo, 1 - a.lo};
+          return {0, 1};
+        }
+      }
+      return top;
+    }
+    default:
+      return top;
+  }
+}
+
+}  // namespace
+
+URange interval_of(const ExprRef& e, const DomainMap& domains) {
+  // Iterative post-order with a per-call memo: the memo makes shared DAG
+  // nodes linear (rotate patterns would otherwise be exponential), and the
+  // explicit stack keeps kilonode-deep chains off the C++ stack.
+  std::unordered_map<const Expr*, URange> memo;
+  std::vector<std::pair<const Expr*, bool>> stack;
+  stack.emplace_back(e.get(), false);
+  while (!stack.empty()) {
+    auto [node, expanded] = stack.back();
+    stack.pop_back();
+    if (memo.count(node) != 0) continue;
+    // Re-wrap in a shared_ptr-compatible handle for interval_node: node
+    // pointers come from interned ExprRefs, which stay alive.
+    if (expanded) {
+      // interval_node only consults memo for kids; give it a borrowed ref.
+      const ExprRef borrowed(std::shared_ptr<const Expr>(), node);
+      memo.emplace(node, interval_node(borrowed, domains, memo));
+      continue;
+    }
+    stack.emplace_back(node, true);
+    for (std::size_t i = 0; i < node->num_kids(); ++i) {
+      const Expr* kid = node->kid(i).get();
+      if (memo.count(kid) == 0) stack.emplace_back(kid, false);
+    }
+  }
+  return memo.at(e.get());
+}
+
+void prune_ule_assembly(const ExprRef& assembly, std::uint64_t bound,
+                        DomainMap& domains) {
+  std::vector<ByteLane> lanes;
+  if (!match_byte_assembly(assembly, lanes)) return;
+  for (const auto& lane : lanes) {
+    const std::uint64_t lane_max = bound >> lane.bit_offset;
+    if (lane_max >= 255) continue;
+    ByteDomain& d = domains.domain(lane.array.get(), lane.index);
+    std::bitset<256> keep;
+    for (unsigned v = 0; v <= lane_max; ++v) keep.set(v);
+    d.intersect(keep);
+  }
+}
+
+bool propagate_domains(const std::vector<ExprRef>& constraints,
+                       DomainMap& domains, std::uint64_t& cost_out) {
+  // Two rounds so that pins discovered by later constraints feed back into
+  // the interval checks of earlier ones (cheap fixpoint approximation).
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& c : constraints) {
+      cost_out += expr_cost(c);
+      const URange range = interval_of(c, domains);
+      if (range.hi == 0) return false;  // constraint can never hold
+      // Upper-bound pruning for assembly <= const / assembly < const.
+      if (c->kind() == ExprKind::kUle || c->kind() == ExprKind::kUlt) {
+        const ExprRef& lhs = c->kid(0);
+        const ExprRef& rhs = c->kid(1);
+        if (rhs->is_constant()) {
+          std::uint64_t bound = rhs->constant_value();
+          if (c->kind() == ExprKind::kUlt) {
+            if (bound == 0) return false;
+            bound -= 1;
+          }
+          prune_ule_assembly(lhs, bound, domains);
+        }
+      }
+    }
+    if (domains.any_empty()) return false;
+  }
+  for (const auto& c : constraints) {
+    std::vector<ReadSite> reads;
+    collect_reads(c, reads);
+
+    // Propagator 2: Eq(assembly, constant) pins every lane.
+    if (c->kind() == ExprKind::kEq) {
+      const ExprRef& lhs = c->kid(0);
+      const ExprRef& rhs = c->kid(1);
+      const ExprRef* assembled = nullptr;
+      std::uint64_t value = 0;
+      if (rhs->is_constant()) {
+        assembled = &lhs;
+        value = rhs->constant_value();
+      } else if (lhs->is_constant()) {
+        assembled = &rhs;
+        value = lhs->constant_value();
+      }
+      if (assembled != nullptr) {
+        bool unsat = false;
+        cost_out += 4;
+        if (pin_equality(*assembled, value, domains, unsat)) {
+          if (unsat) return false;
+          continue;
+        }
+      }
+    }
+
+    // Propagator 1: single-byte constraints enumerated exactly.
+    if (reads.size() == 1) {
+      const ReadSite& site = reads[0];
+      ByteDomain& d = domains.domain(site.array.get(), site.index);
+      Assignment probe;
+      auto& bytes = probe.mutable_bytes(site.array);
+      std::bitset<256> feasible;
+      cost_out += 256;
+      for (unsigned v = 0; v < 256; ++v) {
+        if (!d.allows(static_cast<std::uint8_t>(v))) continue;
+        bytes[site.index] = static_cast<std::uint8_t>(v);
+        if (evaluate_bool(c, probe)) feasible.set(v);
+      }
+      d.intersect(feasible);
+      if (d.empty()) return false;
+    }
+  }
+  return !domains.any_empty();
+}
+
+}  // namespace pbse

@@ -1,0 +1,114 @@
+// Per-byte domain propagation.
+//
+// Two cheap, exact propagators run before the backtracking search:
+//   1. Unit-byte enumeration: a constraint whose reads all hit ONE byte is
+//      evaluated for all 256 values of that byte; infeasible values are
+//      removed from the byte's domain. This nails magic-byte checks.
+//   2. Assembled-integer equality: Eq(<concat/shift-or chain of distinct
+//      byte reads>, constant) pins every participating byte directly.
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace pbse {
+
+/// The feasible value set of one symbolic input byte.
+class ByteDomain {
+ public:
+  ByteDomain() { allowed_.set(); }
+
+  bool allows(std::uint8_t v) const { return allowed_[v]; }
+  void remove(std::uint8_t v) { allowed_.reset(v); }
+  /// Restricts the domain to exactly {v}.
+  void pin(std::uint8_t v) {
+    allowed_.reset();
+    allowed_.set(v);
+  }
+  void intersect(const std::bitset<256>& other) { allowed_ &= other; }
+
+  std::size_t size() const { return allowed_.count(); }
+  bool empty() const { return allowed_.none(); }
+
+  /// Values in ascending order.
+  std::vector<std::uint8_t> values() const;
+
+ private:
+  std::bitset<256> allowed_;
+};
+
+/// Domains for all bytes touched by a query, keyed by (array, index).
+class DomainMap {
+ public:
+  ByteDomain& domain(const Array* array, std::uint32_t index) {
+    return domains_[key(array, index)];
+  }
+  const ByteDomain* find(const Array* array, std::uint32_t index) const {
+    auto it = domains_.find(key(array, index));
+    return it == domains_.end() ? nullptr : &it->second;
+  }
+  bool any_empty() const {
+    for (const auto& [k, d] : domains_)
+      if (d.empty()) return true;
+    return false;
+  }
+
+ private:
+  static std::uint64_t key(const Array* array, std::uint32_t index) {
+    return (reinterpret_cast<std::uintptr_t>(array) << 20) ^ index;
+  }
+  std::unordered_map<std::uint64_t, ByteDomain> domains_;
+};
+
+/// Runs both propagators over `constraints`, refining `domains`.
+/// Returns false if some byte's domain became empty (query is UNSAT).
+/// `cost_out` is incremented by the number of expression evaluations spent
+/// (the caller charges it to the virtual clock).
+bool propagate_domains(const std::vector<ExprRef>& constraints,
+                       DomainMap& domains, std::uint64_t& cost_out);
+
+/// Pattern matcher for propagator 2: decomposes `e` into byte-granular
+/// (read-site, byte-position) pairs if `e` is an assembly of distinct byte
+/// reads via Concat / Shl+Or / ZExt. Returns true on success.
+struct ByteLane {
+  ArrayRef array;
+  std::uint32_t index;     // byte index within the array
+  unsigned bit_offset;     // position of this byte within the assembled value
+};
+bool match_byte_assembly(const ExprRef& e, std::vector<ByteLane>& lanes);
+
+/// Recursive equality pinning: given the constraint `e == value`, peels
+/// constant addends, power-of-two multipliers/shifts, zero/sign extensions
+/// and concatenations down to byte-read lanes, pinning each lane's domain.
+/// All decompositions are SOUND (a pin is only applied when the solution
+/// is unique); patterns that would lose solutions are rejected.
+///
+/// Returns true if the constraint was fully decomposed (the caller may
+/// skip other propagators for it). Sets `unsat` when the equality is
+/// provably unsatisfiable (value outside the expression's range, non-zero
+/// uncovered bits, misaligned multiplier, ...).
+bool pin_equality(const ExprRef& e, std::uint64_t value, DomainMap& domains,
+                  bool& unsat, unsigned depth = 0);
+
+/// Conservative unsigned range of `e` under the current byte domains.
+/// Guaranteed to contain every value `e` can take; overflowing operations
+/// widen to the full width range. Used to refute infeasible inequality
+/// guards (e.g. loop bounds) without search.
+struct URange {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = ~std::uint64_t{0};
+};
+URange interval_of(const ExprRef& e, const DomainMap& domains);
+
+/// Prunes the domains of assembly lanes under `assembly <= bound`
+/// (each lane byte can be at most bound >> bit_offset). Sound: lanes are
+/// disjoint and non-negative.
+void prune_ule_assembly(const ExprRef& assembly, std::uint64_t bound,
+                        DomainMap& domains);
+
+}  // namespace pbse

@@ -1,0 +1,239 @@
+#include "solver/search_solver.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace pbse {
+
+namespace {
+
+struct Var {
+  ArrayRef array;
+  std::uint32_t index;
+  std::vector<std::uint8_t> candidates;  // value order to try
+  std::vector<std::size_t> closing;      // constraints fully assigned here
+  std::vector<std::size_t> involved;     // constraints mentioning this var
+};
+
+std::uint64_t site_key(const Array* array, std::uint32_t index) {
+  return (reinterpret_cast<std::uintptr_t>(array) << 20) ^ index;
+}
+
+}  // namespace
+
+SolverResult backtracking_search(const std::vector<ExprRef>& constraints,
+                                 DomainMap& domains, const Assignment* hint,
+                                 bool hint_first, std::size_t candidate_cap,
+                                 std::uint64_t max_nodes,
+                                 std::uint64_t max_evals,
+                                 std::uint64_t& cost_out,
+                                 Assignment& model_out) {
+  const std::uint64_t eval_limit = cost_out + max_evals;
+  // Collect distinct variables (read sites) across all constraints.
+  std::vector<Var> vars;
+  std::unordered_map<std::uint64_t, std::size_t> var_of_site;
+  std::vector<std::vector<std::size_t>> constraint_vars(constraints.size());
+  for (std::size_t ci = 0; ci < constraints.size(); ++ci) {
+    std::vector<ReadSite> reads;
+    collect_reads(constraints[ci], reads);
+    assert(!reads.empty() && "constant constraints must be folded away");
+    for (const auto& r : reads) {
+      const std::uint64_t key = site_key(r.array.get(), r.index);
+      auto it = var_of_site.find(key);
+      if (it == var_of_site.end()) {
+        it = var_of_site.emplace(key, vars.size()).first;
+        vars.push_back(Var{r.array, r.index, {}, {}, {}});
+      }
+      constraint_vars[ci].push_back(it->second);
+    }
+  }
+
+  if (vars.empty()) {
+    // All constraints were constant-true (folded); trivially SAT.
+    return SolverResult::kSat;
+  }
+
+  // Order variables: smallest domain first (most constrained). Stable so
+  // ties keep discovery order (deterministic).
+  std::vector<std::size_t> order(vars.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  auto domain_size = [&](std::size_t vi) {
+    const ByteDomain* d = domains.find(vars[vi].array.get(), vars[vi].index);
+    return d != nullptr ? d->size() : std::size_t{256};
+  };
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return domain_size(a) < domain_size(b);
+                   });
+
+  // position of each var in the assignment order
+  std::vector<std::size_t> pos_of_var(vars.size());
+  for (std::size_t p = 0; p < order.size(); ++p) pos_of_var[order[p]] = p;
+
+  // A constraint is checkable once its last (deepest) variable is assigned;
+  // every variable additionally forward-checks the constraints it appears
+  // in via interval evaluation.
+  for (std::size_t ci = 0; ci < constraints.size(); ++ci) {
+    std::size_t deepest = 0;
+    for (std::size_t vi : constraint_vars[ci]) {
+      deepest = std::max(deepest, pos_of_var[vi]);
+      auto& inv = vars[vi].involved;
+      if (inv.empty() || inv.back() != ci) inv.push_back(ci);
+    }
+    vars[order[deepest]].closing.push_back(ci);
+  }
+
+  // Candidate value order per variable: hint value first, then the
+  // boundary values 0, 0xff, 1, 0x80, 0x7f, then the rest of the domain
+  // ascending. Boundary-first ordering makes wraparound/overflow and
+  // make-this-count-small queries cheap.
+  for (auto& v : vars) {
+    const ByteDomain* d = domains.find(v.array.get(), v.index);
+    std::vector<std::uint8_t> dom =
+        d != nullptr ? d->values() : [] {
+          std::vector<std::uint8_t> all(256);
+          for (unsigned i = 0; i < 256; ++i) all[i] = static_cast<std::uint8_t>(i);
+          return all;
+        }();
+    if (dom.empty()) return SolverResult::kUnsat;
+    std::vector<std::uint8_t> cand;
+    cand.reserve(dom.size());
+    auto push_unique = [&cand, &dom](std::uint8_t val) {
+      if (!std::binary_search(dom.begin(), dom.end(), val)) return;
+      if (std::find(cand.begin(), cand.end(), val) == cand.end())
+        cand.push_back(val);
+    };
+    if (hint_first && hint != nullptr)
+      push_unique(hint->byte(v.array.get(), v.index));
+    for (std::uint8_t boundary : {std::uint8_t{0}, std::uint8_t{0xff},
+                                  std::uint8_t{1}, std::uint8_t{0x80},
+                                  std::uint8_t{0x7f}})
+      push_unique(boundary);
+    if (!hint_first && hint != nullptr)
+      push_unique(hint->byte(v.array.get(), v.index));
+    for (std::uint8_t val : dom) push_unique(val);
+    if (candidate_cap > 0 && cand.size() > candidate_cap)
+      cand.resize(candidate_cap);
+    v.candidates = std::move(cand);
+  }
+
+  // Whole-assignment probes before the exponential search: for each probe
+  // pattern, give every variable its pinned / boundary value and test all
+  // constraints at once. Catches "make it huge" (overflow) and "make it
+  // tiny" queries in O(#constraints).
+  {
+    Assignment probe;
+    for (const auto& v : vars) probe.mutable_bytes(v.array);
+    auto try_probe = [&](auto pick) -> bool {
+      for (const auto& v : vars)
+        probe.mutable_bytes(v.array)[v.index] = pick(v);
+      for (std::size_t ci = 0; ci < constraints.size(); ++ci) {
+        cost_out += expr_cost(constraints[ci]);
+        if (!evaluate_bool(constraints[ci], probe)) return false;
+      }
+      for (const auto& v : vars)
+        model_out.mutable_bytes(v.array)[v.index] =
+            probe.byte(v.array.get(), v.index);
+      return true;
+    };
+    auto low = [](const Var& v) { return v.candidates.front(); };
+    auto high = [](const Var& v) {
+      // Largest allowed value (domain values are ascending in candidates'
+      // tail; use the max of the candidate list).
+      std::uint8_t m = 0;
+      for (std::uint8_t c : v.candidates) m = std::max(m, c);
+      return m;
+    };
+    auto zeroish = [](const Var& v) {
+      for (std::uint8_t c : v.candidates)
+        if (c == 0) return std::uint8_t{0};
+      return v.candidates.front();
+    };
+    if (try_probe(low) || try_probe(high) || try_probe(zeroish))
+      return SolverResult::kSat;
+  }
+
+  // The working assignment; bytes are written in place as the DFS descends.
+  Assignment work;
+  for (const auto& v : vars) work.mutable_bytes(v.array);
+
+  // Forward checking: each assignment pins the variable's domain so that
+  // interval evaluation of any involved constraint can refute a bad
+  // SHALLOW value immediately instead of at the deepest variable.
+  std::vector<ByteDomain> saved_domain(order.size());
+  auto restore_path = [&](std::size_t up_to_depth) {
+    for (std::size_t d = 0; d <= up_to_depth && d < order.size(); ++d) {
+      Var& pv = vars[order[d]];
+      domains.domain(pv.array.get(), pv.index) = saved_domain[d];
+    }
+  };
+
+  std::uint64_t nodes = 0;
+  // Iterative DFS with an explicit choice stack.
+  std::vector<std::size_t> choice(order.size(), 0);
+  std::size_t depth = 0;
+  saved_domain[0] = domains.domain(vars[order[0]].array.get(),
+                                   vars[order[0]].index);
+  while (true) {
+    if (depth == order.size()) {
+      // Full assignment found and verified incrementally.
+      for (const auto& v : vars) {
+        // Copy assigned bytes into the output model.
+        model_out.mutable_bytes(v.array)[v.index] =
+            work.byte(v.array.get(), v.index);
+      }
+      restore_path(order.size() - 1);
+      return SolverResult::kSat;
+    }
+    Var& v = vars[order[depth]];
+    ByteDomain& dom = domains.domain(v.array.get(), v.index);
+    bool advanced = false;
+    while (choice[depth] < v.candidates.size()) {
+      if (++nodes > max_nodes || cost_out > eval_limit) {
+        restore_path(depth);
+        return SolverResult::kUnknown;
+      }
+      const std::uint8_t val = v.candidates[choice[depth]];
+      ++choice[depth];
+      work.mutable_bytes(v.array)[v.index] = val;
+      dom.pin(val);
+      bool ok = true;
+      // Exact check of constraints whose variables are all assigned.
+      for (std::size_t ci : v.closing) {
+        cost_out += expr_cost(constraints[ci]);
+        if (!evaluate_bool(constraints[ci], work)) {
+          ok = false;
+          break;
+        }
+      }
+      // Interval forward-check of the other constraints this var touches.
+      if (ok) {
+        for (std::size_t ci : v.involved) {
+          cost_out += expr_cost(constraints[ci]);
+          if (interval_of(constraints[ci], domains).hi == 0) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        ++depth;
+        if (depth < choice.size()) {
+          choice[depth] = 0;
+          Var& nv = vars[order[depth]];
+          saved_domain[depth] = domains.domain(nv.array.get(), nv.index);
+        }
+        advanced = true;
+        break;
+      }
+    }
+    if (advanced) continue;
+    // Exhausted this variable: restore its domain and backtrack.
+    dom = saved_domain[depth];
+    if (depth == 0) return SolverResult::kUnsat;
+    --depth;
+  }
+}
+
+}  // namespace pbse

@@ -1,0 +1,331 @@
+#include "solver/solver.h"
+
+#include "solver/independence.h"
+#include "solver/interval.h"
+#include "solver/search_solver.h"
+#include "support/log.h"
+
+namespace pbse {
+
+namespace {
+
+/// Order-insensitive cache key over a constraint list.
+std::uint64_t cache_key(const std::vector<ExprRef>& constraints) {
+  std::uint64_t h = 0x452821e638d01377ULL;
+  for (const auto& c : constraints) {
+    std::uint64_t x = c->hash();
+    x *= 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 29;
+    h ^= x;
+  }
+  return h;
+}
+
+bool satisfies_all(const std::vector<ExprRef>& constraints,
+                   CachingEvaluator& eval, std::uint64_t& evals) {
+  for (const auto& c : constraints) {
+    evals += expr_cost(c);
+    if (!eval.evaluate_bool(c)) return false;
+  }
+  return true;
+}
+
+/// Shared evaluator over the all-zeros assignment; its memo persists for
+/// the process (bounded by the interning table).
+CachingEvaluator& zeros_evaluator() {
+  static auto* eval =
+      new CachingEvaluator(std::make_shared<Assignment>());
+  return *eval;
+}
+
+void copy_into(const Assignment& from, Assignment* to,
+               const std::vector<ExprRef>& constraints) {
+  if (to == nullptr) return;
+  std::vector<ReadSite> reads;
+  for (const auto& c : constraints) collect_reads(c, reads);
+  for (const auto& r : reads)
+    to->mutable_bytes(r.array)[r.index] = from.byte(r.array.get(), r.index);
+}
+
+}  // namespace
+
+namespace {
+
+/// A deferred "defined-by" equality: `constraint` is Eq(defined, <lanes>)
+/// (or its negation) where every lane byte occurs in no other constraint
+/// of the list, so the lane bytes can simply be back-computed from a model
+/// of the remaining constraints. This is how checksum/CRC equalities stay
+/// cheap: solve the data, then write the matching checksum.
+struct DeferredEquality {
+  ExprRef constraint;
+  ExprRef defined;              // the non-assembly side
+  std::vector<ByteLane> lanes;  // the free checksum bytes
+  bool negated = false;         // Ne instead of Eq
+};
+
+std::uint64_t lane_site_key(const ByteLane& lane) {
+  return (reinterpret_cast<std::uintptr_t>(lane.array.get()) << 20) ^
+         lane.index;
+}
+
+std::uint64_t read_site_key(const ReadSite& site) {
+  return (reinterpret_cast<std::uintptr_t>(site.array.get()) << 20) ^
+         site.index;
+}
+
+/// Extracts deferrable equalities from `constraints` (removing them).
+std::vector<DeferredEquality> extract_deferred(
+    std::vector<ExprRef>& constraints) {
+  // Occurrence count of every site across the list.
+  std::unordered_map<std::uint64_t, unsigned> occurrences;
+  for (const auto& c : constraints)
+    for (const auto& r : cached_reads(c)) ++occurrences[read_site_key(r)];
+
+  std::vector<DeferredEquality> deferred;
+  std::vector<ExprRef> kept;
+  kept.reserve(constraints.size());
+  for (const auto& c : constraints) {
+    // Accept Eq(a, b) and its Xor-with-true negation.
+    ExprRef eq = c;
+    bool negated = false;
+    if (c->kind() == ExprKind::kXor && c->num_kids() == 2 &&
+        c->kid(1)->is_true() && c->kid(0)->kind() == ExprKind::kEq) {
+      eq = c->kid(0);
+      negated = true;
+    }
+    bool taken = false;
+    if (eq->kind() == ExprKind::kEq) {
+      for (int side = 0; side < 2 && !taken; ++side) {
+        const ExprRef& candidate = eq->kid(side);
+        const ExprRef& other = eq->kid(1 - side);
+        std::vector<ByteLane> lanes;
+        if (!match_byte_assembly(candidate, lanes)) continue;
+        // Every lane byte must be exclusive to this constraint and must
+        // not feed the other side.
+        bool exclusive = true;
+        for (const auto& lane : lanes)
+          exclusive = exclusive && occurrences[lane_site_key(lane)] == 1;
+        if (!exclusive) continue;
+        for (const auto& r : cached_reads(other))
+          for (const auto& lane : lanes)
+            if (r.array.get() == lane.array.get() && r.index == lane.index)
+              exclusive = false;
+        if (!exclusive) continue;
+        deferred.push_back(DeferredEquality{c, other, lanes, negated});
+        taken = true;
+      }
+    }
+    if (!taken) kept.push_back(c);
+  }
+  constraints.swap(kept);
+  return deferred;
+}
+
+}  // namespace
+
+CachingEvaluator& Solver::hint_evaluator(const HintRef& hint) {
+  if (hint_evaluators_.size() > 256) hint_evaluators_.clear();
+  auto& slot = hint_evaluators_[hint.get()];
+  if (slot == nullptr || slot->assignment().get() != hint.get())
+    slot = std::make_shared<CachingEvaluator>(hint);
+  return *slot;
+}
+
+SolverResult Solver::solve_list(const std::vector<ExprRef>& constraints,
+                                Assignment* model, const HintRef& hint) {
+  std::vector<ExprRef> remaining = constraints;
+  const std::vector<DeferredEquality> deferred = extract_deferred(remaining);
+  if (!deferred.empty()) stats_.add("solver.deferred_eqs", deferred.size());
+
+  const SolverResult result = solve_core(remaining, model, hint);
+  if (result != SolverResult::kSat || deferred.empty()) return result;
+  if (model == nullptr) return result;  // satisfiable either way: the lane
+                                        // bytes are free
+
+  // Back-compute the deferred checksum bytes against the final model.
+  for (const auto& d : deferred) {
+    std::uint64_t value = evaluate(d.defined, *model);
+    if (d.negated) value += 1;  // any different value works
+    for (const auto& lane : d.lanes) {
+      model->mutable_bytes(lane.array)[lane.index] =
+          static_cast<std::uint8_t>(value >> lane.bit_offset);
+    }
+  }
+  // Verify (chained definitions would break the one-pass completion).
+  for (const auto& d : deferred) {
+    clock_.advance(expr_cost(d.constraint));
+    if (!evaluate_bool(d.constraint, *model)) {
+      stats_.add("solver.deferred_fallback");
+      return solve_core(constraints, model, hint);
+    }
+  }
+  return SolverResult::kSat;
+}
+
+SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
+                                Assignment* model, const HintRef& hint) {
+  if (constraints.empty()) return SolverResult::kSat;
+
+  std::uint64_t evals = 0;
+
+  // Fast path 1: the hint assignment already satisfies everything — the
+  // concolic fast path that makes re-walking a seed path nearly free.
+  // Evaluations are memoized per hint across queries.
+  if (hint != nullptr && satisfies_all(constraints, hint_evaluator(hint), evals)) {
+    charge(evals);
+    stats_.add("solver.hint_hits");
+    copy_into(*hint, model, constraints);
+    return SolverResult::kSat;
+  }
+
+  // Fast path 2: the all-zeros assignment (memo shared process-wide).
+  if (satisfies_all(constraints, zeros_evaluator(), evals)) {
+    charge(evals);
+    Assignment zeros;
+    stats_.add("solver.zero_hits");
+    copy_into(zeros, model, constraints);
+    return SolverResult::kSat;
+  }
+
+  const std::uint64_t key = cache_key(constraints);
+  if (options_.use_cache) {
+    if (const QueryCache::Entry* hit = cache_.lookup(key, constraints)) {
+      stats_.add("solver.cache_hits");
+      if (hit->result == SolverResult::kSat && model != nullptr) {
+        Assignment cached;
+        for (const auto& [array, bytes] : hit->model) cached.set(array, bytes);
+        copy_into(cached, model, constraints);
+      }
+      return hit->result;
+    }
+  }
+
+  // Domain propagation.
+  DomainMap domains;
+  if (!propagate_domains(constraints, domains, evals)) {
+    charge(evals);
+    stats_.add("solver.propagation_unsat");
+    if (options_.use_cache)
+      cache_.insert(key, QueryCache::Entry{SolverResult::kUnsat, {}});
+    return SolverResult::kUnsat;
+  }
+
+  // Bounded backtracking search, staged:
+  //   A. candidates capped to hint+boundary values — exhaustively explores
+  //      the small "interesting corners" tree (cheap, finds most models);
+  //   B. full domains, hint values first (stays close to the model);
+  //   C. full domains, boundary values first (escapes hint-poisoned
+  //      subtrees).
+  // A kUnsat from a CAPPED pass is not conclusive; only full passes may
+  // report kUnsat.
+  Assignment found;
+  const Assignment* hint_raw = hint.get();
+  SolverResult result = backtracking_search(
+      constraints, domains, hint_raw, /*hint_first=*/true, /*candidate_cap=*/6,
+      options_.max_search_nodes / 4, options_.max_search_evals / 4, evals,
+      found);
+  if (result == SolverResult::kUnsat) result = SolverResult::kUnknown;
+  if (result == SolverResult::kUnknown) {
+    stats_.add("solver.search_full_pass");
+    result = backtracking_search(constraints, domains, hint_raw,
+                                 /*hint_first=*/true, /*candidate_cap=*/0,
+                                 options_.max_search_nodes / 2,
+                                 options_.max_search_evals / 2, evals, found);
+  }
+  if (result == SolverResult::kUnknown && hint != nullptr) {
+    stats_.add("solver.search_restarts");
+    result = backtracking_search(constraints, domains, hint_raw,
+                                 /*hint_first=*/false, /*candidate_cap=*/0,
+                                 options_.max_search_nodes / 4,
+                                 options_.max_search_evals / 4, evals, found);
+  }
+  charge(evals);
+
+  switch (result) {
+    case SolverResult::kSat: {
+      stats_.add("solver.search_sat");
+      copy_into(found, model, constraints);
+      if (options_.use_cache) {
+        QueryCache::Entry entry;
+        entry.result = SolverResult::kSat;
+        std::vector<ReadSite> reads;
+        for (const auto& c : constraints) collect_reads(c, reads);
+        std::vector<ArrayRef> arrays;
+        for (const auto& r : reads) {
+          bool seen = false;
+          for (const auto& a : arrays) seen = seen || a.get() == r.array.get();
+          if (!seen) arrays.push_back(r.array);
+        }
+        for (const auto& a : arrays)
+          entry.model.emplace_back(
+              a, std::vector<std::uint8_t>(found.mutable_bytes(a)));
+        cache_.insert(key, std::move(entry));
+      }
+      return SolverResult::kSat;
+    }
+    case SolverResult::kUnsat:
+      stats_.add("solver.search_unsat");
+      if (options_.use_cache)
+        cache_.insert(key, QueryCache::Entry{SolverResult::kUnsat, {}});
+      return SolverResult::kUnsat;
+    case SolverResult::kUnknown:
+      stats_.add("solver.search_unknown");
+      if (log_level() >= LogLevel::kDebug) {
+        PBSE_LOG_DEBUG << "solver unknown over " << constraints.size()
+                       << " constraints:";
+        for (std::size_t i = 0; i < constraints.size() && i < 8; ++i)
+          PBSE_LOG_DEBUG << "  [" << i << "] " << constraints[i]->to_string();
+      }
+      // Unknown results are NOT cached: a later query with a different hint
+      // might succeed within budget.
+      return SolverResult::kUnknown;
+  }
+  return SolverResult::kUnknown;
+}
+
+SolverResult Solver::check_sat(const ConstraintSet& cs, const ExprRef& query,
+                               Assignment* model, const HintRef& hint) {
+  stats_.add("solver.queries");
+
+  if (query->is_false()) return SolverResult::kUnsat;
+
+  std::vector<ExprRef> sliced;
+  if (options_.use_independence) {
+    sliced = independent_slice(cs, query);
+  } else {
+    sliced = cs.constraints();
+  }
+  if (!query->is_true()) sliced.push_back(query);
+
+  return solve_list(sliced, model, hint);
+}
+
+SolverResult Solver::solve_all(const ConstraintSet& cs, Assignment* model,
+                               const HintRef& hint) {
+  stats_.add("solver.solve_all");
+  return solve_list(cs.constraints(), model, hint);
+}
+
+std::optional<std::uint64_t> Solver::get_value(const ConstraintSet& cs,
+                                               const ExprRef& e,
+                                               const HintRef& hint) {
+  if (e->is_constant()) return e->constant_value();
+  if (hint != nullptr) {
+    // Prefer the hint's value when it is consistent with the constraints.
+    CachingEvaluator& eval = hint_evaluator(hint);
+    bool ok = true;
+    for (const auto& c : cs.constraints()) {
+      clock_.advance(options_.ticks_per_eval);
+      if (!eval.evaluate_bool(c)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return eval.evaluate(e);
+  }
+  Assignment model;
+  if (solve_all(cs, &model, hint) != SolverResult::kSat) return std::nullopt;
+  return evaluate(e, model);
+}
+
+}  // namespace pbse

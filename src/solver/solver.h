@@ -1,0 +1,117 @@
+// Solver facade: the engine's single entry point for satisfiability and
+// value queries. Pipeline per query:
+//
+//   fast path (hint / all-zeros evaluation)
+//     -> independence slicing
+//     -> cache lookup
+//     -> byte-domain propagation
+//     -> bounded backtracking search
+//     -> cache fill
+//
+// Every evaluation performed is charged to the virtual clock, so solver
+// effort competes with interpretation effort exactly as in the paper's
+// wall-clock experiments. A budget-exhausted query returns kUnknown and the
+// engine treats the branch as unreachable-for-now — this is what makes
+// input-dependent loop exits "trap" symbolic execution.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+#include "solver/cache.h"
+#include "solver/constraint_set.h"
+#include "support/stats.h"
+#include "support/vclock.h"
+
+namespace pbse {
+
+struct SolverOptions {
+  /// Backtracking node budget per query.
+  std::uint64_t max_search_nodes = 40000;
+  /// Evaluation-WORK budget per query, in expression-DAG-node units
+  /// (expr_cost); caps node*constraint blowup independent of node count.
+  std::uint64_t max_search_evals = 1'000'000;
+  /// Virtual-clock ticks charged per `charge_divisor` expression-DAG nodes
+  /// evaluated. The default ratio makes one typical query cost a few
+  /// hundred ticks (instructions cost 1 tick each), roughly KLEE's
+  /// instruction-to-solver time split.
+  std::uint64_t ticks_per_eval = 1;
+  std::uint64_t charge_divisor = 32;
+  bool use_cache = true;
+  bool use_independence = true;
+};
+
+class Solver {
+ public:
+  Solver(VClock& clock, Stats& stats, SolverOptions options = {})
+      : clock_(clock), stats_(stats), options_(options) {}
+
+  /// A hint assignment: tried first and seeding the search's value order.
+  /// Shared ownership lets the solver keep a memoized evaluator per hint
+  /// (states re-issue queries against the same model thousands of times).
+  using HintRef = std::shared_ptr<const Assignment>;
+
+  /// Is `cs /\ query` satisfiable? On kSat and `model != nullptr`, `model`
+  /// receives a satisfying assignment.
+  SolverResult check_sat(const ConstraintSet& cs, const ExprRef& query,
+                         Assignment* model = nullptr,
+                         const HintRef& hint = nullptr);
+
+  /// True iff `query` can be true under `cs` (kSat). kUnknown counts as
+  /// "no" — the engine's conservative treatment of solver timeouts.
+  bool may_be_true(const ConstraintSet& cs, const ExprRef& query,
+                   const HintRef& hint = nullptr) {
+    return check_sat(cs, query, nullptr, hint) == SolverResult::kSat;
+  }
+
+  /// Satisfiability of the ENTIRE constraint set (no independence slicing
+  /// relative to a query). check_sat assumes the path invariant "cs is
+  /// already satisfiable" — use solve_all when that is not yet established,
+  /// e.g. when activating a concolic seedState.
+  SolverResult solve_all(const ConstraintSet& cs, Assignment* model,
+                         const HintRef& hint = nullptr);
+
+  /// A concrete value `e` can take under `cs`, or nullopt if even finding
+  /// one model exceeds the budget.
+  std::optional<std::uint64_t> get_value(const ConstraintSet& cs,
+                                         const ExprRef& e,
+                                         const HintRef& hint = nullptr);
+
+  const SolverOptions& options() const { return options_; }
+  QueryCache& cache() { return cache_; }
+
+ private:
+  /// Shared pipeline over an already-assembled constraint list. Runs the
+  /// defined-by elimination first (checksum/CRC equalities whose stored
+  /// bytes appear nowhere else are deferred and back-computed), then the
+  /// fast paths, cache, propagation and search over the remainder.
+  SolverResult solve_list(const std::vector<ExprRef>& constraints,
+                          Assignment* model, const HintRef& hint);
+
+  /// Pipeline body without elimination (used by solve_list and as its
+  /// fallback when a deferred equality turns out to chain).
+  SolverResult solve_core(const std::vector<ExprRef>& constraints,
+                          Assignment* model, const HintRef& hint);
+
+  /// Memoized evaluator for `hint`, cached by identity (the evaluator keeps
+  /// the assignment alive, so pointer reuse cannot alias).
+  CachingEvaluator& hint_evaluator(const HintRef& hint);
+
+  void charge(std::uint64_t evals) {
+    clock_.advance(evals * options_.ticks_per_eval / options_.charge_divisor +
+                   1);
+  }
+
+  VClock& clock_;
+  Stats& stats_;
+  SolverOptions options_;
+  QueryCache cache_;
+  std::unordered_map<const Assignment*, std::shared_ptr<CachingEvaluator>>
+      hint_evaluators_;
+};
+
+}  // namespace pbse

@@ -1,0 +1,28 @@
+#include "support/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pbse {
+
+namespace {
+LogLevel g_level = [] {
+  const char* env = std::getenv("PBSE_LOG");
+  if (env == nullptr) return LogLevel::kOff;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  return LogLevel::kOff;
+}();
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (g_level < level || msg.empty()) return;
+  std::fprintf(stderr, "[pbse] %s\n", msg.c_str());
+}
+
+}  // namespace pbse

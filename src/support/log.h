@@ -1,0 +1,42 @@
+// Minimal leveled logging to stderr. Off by default so tests and benches
+// stay quiet; enable with PBSE_LOG=info or PBSE_LOG=debug in the
+// environment, or programmatically via set_log_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pbse {
+
+enum class LogLevel { kOff = 0, kInfo = 1, kDebug = 2 };
+
+/// Sets the global log threshold.
+void set_log_level(LogLevel level);
+
+/// Current threshold (initialized once from $PBSE_LOG).
+LogLevel log_level();
+
+/// Writes one formatted line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (log_level() >= level_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace pbse
+
+#define PBSE_LOG_INFO ::pbse::detail::LogMessage(::pbse::LogLevel::kInfo)
+#define PBSE_LOG_DEBUG ::pbse::detail::LogMessage(::pbse::LogLevel::kDebug)

@@ -1,0 +1,27 @@
+// Lightweight named-counter registry used across the engine for
+// introspection (queries issued, cache hits, forks, states killed, ...).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pbse {
+
+/// A bag of named monotonic counters. Cheap enough to pass by reference
+/// everywhere; not thread-safe (engine is single-threaded).
+class Stats {
+ public:
+  void add(const std::string& name, std::uint64_t n = 1) { counters_[name] += n; }
+  std::uint64_t get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
+  void clear() { counters_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace pbse

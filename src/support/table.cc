@@ -1,0 +1,65 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pbse {
+
+void TextTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::separator() { rows_.push_back(Row{{}, true}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_)
+    if (!r.is_separator) widen(r.cells);
+
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 3;
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      out << c << std::string(widths[i] - c.size(), ' ');
+      if (i + 1 < widths.size()) out << " | ";
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    out << std::string(total > 3 ? total - 3 : total, '-') << '\n';
+  }
+  for (const auto& r : rows_) {
+    if (r.is_separator)
+      out << std::string(total > 3 ? total - 3 : total, '-') << '\n';
+    else
+      emit(r.cells);
+  }
+  return out.str();
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_percent(double ratio) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.0f%%", ratio * 100.0);
+  return buf;
+}
+
+}  // namespace pbse

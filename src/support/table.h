@@ -1,0 +1,40 @@
+// Plain-text table printer used by the bench harnesses to emit
+// paper-style tables (Table I, II, III).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pbse {
+
+/// Accumulates rows of cells and renders them as an aligned ASCII table.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row. Rows may have fewer cells than the header.
+  void row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line at this position.
+  void separator();
+
+  /// Renders the table; every column is padded to its widest cell.
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool is_separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats `v` with `digits` decimal places (helper for table cells).
+std::string fmt_double(double v, int digits = 1);
+
+/// Formats a ratio as a percentage string like "109%".
+std::string fmt_percent(double ratio);
+
+}  // namespace pbse

@@ -1,0 +1,52 @@
+// Deterministic virtual clock used for all time budgets in pbse.
+//
+// The paper measures coverage after 1 and 10 wall-clock hours on a 12-core
+// Xeon. Wall time is neither reproducible nor affordable here, so every
+// component charges work to a VClock instead: one tick per interpreted
+// instruction, plus explicit charges for solver work. "1h" / "10h" budgets
+// in the benches are tick budgets (see bench/budget.h).
+#pragma once
+
+#include <cstdint>
+
+namespace pbse {
+
+/// Monotonic tick counter. Not thread-safe by design: the engine is
+/// single-threaded and determinism is the point.
+class VClock {
+ public:
+  using Ticks = std::uint64_t;
+
+  /// Advance the clock by `n` ticks.
+  void advance(Ticks n) { now_ += n; }
+
+  /// Current tick count since construction (or last reset).
+  Ticks now() const { return now_; }
+
+  void reset() { now_ = 0; }
+
+ private:
+  Ticks now_ = 0;
+};
+
+/// A deadline against a VClock. Default-constructed deadline never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+  Deadline(const VClock& clock, VClock::Ticks budget)
+      : clock_(&clock), expires_at_(clock.now() + budget) {}
+
+  bool expired() const { return clock_ != nullptr && clock_->now() >= expires_at_; }
+
+  /// Ticks remaining before expiry; 0 if expired or max if unlimited.
+  VClock::Ticks remaining() const {
+    if (clock_ == nullptr) return ~VClock::Ticks{0};
+    return expired() ? 0 : expires_at_ - clock_->now();
+  }
+
+ private:
+  const VClock* clock_ = nullptr;
+  VClock::Ticks expires_at_ = 0;
+};
+
+}  // namespace pbse

@@ -1,0 +1,510 @@
+// dwarfdump — libdwarf's dwarfdump analog.
+//
+// Format "MDWF": header { 'M','D','W','F', u16 nsec }, then nsec 10-byte
+// section entries { u16 type | u32 off | u32 size }. Section types:
+//   1 .debug_abbrev   2 .debug_info   3 .debug_line
+//   4 .debug_str      5 .debug_ranges 6 .debug_macro
+//
+// .debug_abbrev: ULEB-coded { code, tag, nattrs, nattrs*form } lists, code
+// 0 terminates. .debug_info: DIE stream { abbrev_code, per-form payloads,
+// children flag }. .debug_line: file table + a bytecode state machine.
+//
+// Injected bugs (10 = 7 OOB reads + 2 OOB writes + 1 null deref, matching
+// the paper's libdwarf tally):
+//   W1 parse_abbrev: abbrev table index not bounded by 64 -> OOB write.
+//   W2 parse_line: file-table index from the file, not bounded -> OOB write.
+//   R1 parse_die: per-DIE form reads use the UNCLAMPED nattrs -> OOB read
+//      of abbrev_forms.
+//   R2 parse_die form 3: str offset indexes the 128-byte str cache
+//      unchecked -> OOB read.
+//   R3 parse_die form 4: block payload bytes read past the input -> OOB
+//      input read.
+//   R4 read_ranges: range pairs read at an unchecked offset -> OOB input
+//      read.
+//   R5 parse_macro: macro bytes read at unchecked section offset -> OOB
+//      input read.
+//   R6 parse_line extended op: argument bytes read unchecked -> OOB input
+//      read.
+//   R7 parse_die form 6 (sibling): peeks the sibling offset unchecked ->
+//      OOB input read.
+//   N1 parse_die: find_abbrev returns null for unknown codes and the tag
+//      pointer is dereferenced without a check -> null deref.
+//
+// Phase structure: section table loop -> abbrev ULEB loop (trap) -> DIE
+// walk (trap; recursion via explicit depth) -> line state machine (trap)
+// -> ranges/macro dumps (deep phases).
+#include "targets/targets.h"
+
+namespace pbse::targets {
+
+const char* dwarfdump_source() {
+  return R"MINIC(
+// ---- mini dwarfdump --------------------------------------------------------
+
+u32 sec_abbrev_off;  u32 sec_abbrev_size;
+u32 sec_info_off;    u32 sec_info_size;
+u32 sec_line_off;    u32 sec_line_size;
+u32 sec_str_off;     u32 sec_str_size;
+u32 sec_ranges_off;  u32 sec_ranges_size;
+u32 sec_macro_off;   u32 sec_macro_size;
+u32 sec_aranges_off; u32 sec_aranges_size;
+u32 sec_frame_off;   u32 sec_frame_size;
+
+u32 abbrev_codes[64];
+u8 abbrev_tags[64];
+u8 abbrev_nattrs[64];
+u8 abbrev_forms[256];
+u32 n_abbrevs;
+
+u8 str_cache[128];
+u8 line_files[16];
+
+u32 uleb_pos;
+
+u32 read_u16(u8* f, u32 off) {
+  return (u32)f[off] | ((u32)f[off + 1] << 8);
+}
+
+u32 read_u32(u8* f, u32 off) {
+  return (u32)f[off] | ((u32)f[off + 1] << 8)
+       | ((u32)f[off + 2] << 16) | ((u32)f[off + 3] << 24);
+}
+
+u32 read_uleb(u8* f, u32 size) {
+  u32 result = 0;
+  u32 shift = 0;
+  while (uleb_pos < size) {
+    u32 b = (u32)f[uleb_pos];
+    uleb_pos += 1;
+    result = result | ((b & 0x7f) << shift);
+    if ((b & 0x80) == 0) { break; }
+    shift += 7;
+    if (shift > 28) { break; }
+  }
+  return result;
+}
+
+u32 read_sections(u8* f, u32 size) {
+  if (size < 6) { return 0; }
+  if (f[0] != 'M') { return 0; }
+  if (f[1] != 'D') { return 0; }
+  if (f[2] != 'W') { return 0; }
+  if (f[3] != 'F') { return 0; }
+  u32 nsec = read_u16(f, 4);
+  if (6 + nsec * 10 > size) { return 0; }
+  for (u32 i = 0; i < nsec; ++i) {      // section table loop
+    u32 e = 6 + i * 10;
+    u32 stype = read_u16(f, e);
+    u32 soff = read_u32(f, e + 2);
+    u32 ssize = read_u32(f, e + 6);
+    if (stype == 1) { sec_abbrev_off = soff; sec_abbrev_size = ssize; }
+    else if (stype == 2) { sec_info_off = soff; sec_info_size = ssize; }
+    else if (stype == 3) { sec_line_off = soff; sec_line_size = ssize; }
+    else if (stype == 4) { sec_str_off = soff; sec_str_size = ssize; }
+    else if (stype == 5) { sec_ranges_off = soff; sec_ranges_size = ssize; }
+    else if (stype == 6) { sec_macro_off = soff; sec_macro_size = ssize; }
+    else if (stype == 7) { sec_aranges_off = soff; sec_aranges_size = ssize; }
+    else if (stype == 8) { sec_frame_off = soff; sec_frame_size = ssize; }
+  }
+  out(nsec);
+  return 1;
+}
+
+// Trap phase: ULEB decode loop over the abbrev section.
+u32 parse_abbrev(u8* f, u32 size) {
+  if (sec_abbrev_size == 0) { return 0; }
+  if (sec_abbrev_off + sec_abbrev_size > size) { return 0; }
+  u32 limit = sec_abbrev_off + sec_abbrev_size;
+  uleb_pos = sec_abbrev_off;
+  n_abbrevs = 0;
+  while (uleb_pos < limit) {
+    u32 code = read_uleb(f, limit);
+    if (code == 0) { break; }
+    u32 tag = read_uleb(f, limit);
+    u32 nattrs = read_uleb(f, limit);
+    abbrev_codes[n_abbrevs] = code;       // <-- W1: OOB write when > 64
+    abbrev_tags[n_abbrevs] = (u8)tag;
+    abbrev_nattrs[n_abbrevs] = (u8)nattrs;  // stored UNCLAMPED (see R1)
+    for (u32 j = 0; j < nattrs; ++j) {
+      u32 form = read_uleb(f, limit);
+      if (j < 4 && n_abbrevs < 64) {
+        abbrev_forms[n_abbrevs * 4 + j] = (u8)form;
+      }
+    }
+    n_abbrevs += 1;
+  }
+  out(n_abbrevs);
+  return 1;
+}
+
+// Returns a pointer to the abbrev's tag byte, or null when `code` is not
+// declared (the caller must check -- it does not: N1).
+u8* find_abbrev(u32 code) {
+  for (u32 i = 0; i < n_abbrevs && i < 64; ++i) {
+    if (abbrev_codes[i] == code) {
+      return &abbrev_tags[i];
+    }
+  }
+  return 0;
+}
+
+u32 abbrev_index(u32 code) {
+  for (u32 i = 0; i < n_abbrevs && i < 64; ++i) {
+    if (abbrev_codes[i] == code) { return i; }
+  }
+  return 64;
+}
+
+u32 load_str_cache(u8* f, u32 size) {
+  if (sec_str_size == 0) { return 1; }
+  if (sec_str_off + sec_str_size > size) { return 0; }
+  u32 n = sec_str_size;
+  if (n > 128) { n = 128; }
+  for (u32 i = 0; i < n; ++i) {
+    str_cache[i] = f[sec_str_off + i];
+  }
+  return 1;
+}
+
+// R4: range pairs are read at roff without checking against the section
+// (or file) end.
+u32 read_ranges(u8* f, u32 size, u32 attr_value) {
+  u32 roff = sec_ranges_off + attr_value;
+  u32 pairs = 0;
+  while (pairs < 8) {
+    u32 lo = read_u32(f, roff);          // <-- R4: OOB input read
+    u32 hi = read_u32(f, roff + 4);
+    roff += 8;
+    pairs += 1;
+    if (lo == 0 && hi == 0) { break; }
+    out(hi - lo);
+  }
+  return pairs;
+}
+
+// Trap phase: the DIE walk over .debug_info.
+u32 parse_info(u8* f, u32 size) {
+  if (sec_info_size == 0) { return 0; }
+  if (sec_info_off + sec_info_size > size) { return 0; }
+  u32 limit = sec_info_off + sec_info_size;
+  uleb_pos = sec_info_off;
+  u32 depth = 0;
+  u32 dies = 0;
+  while (uleb_pos < limit && dies < 200) {
+    u32 code = read_uleb(f, limit);
+    if (code == 0) {
+      if (depth == 0) { break; }
+      depth -= 1;
+      continue;
+    }
+    u8* tagp = find_abbrev(code);
+    u8 tag = *tagp;                      // <-- N1: null deref on unknown code
+    u32 idx = abbrev_index(code);
+    u32 nattrs = (u32)abbrev_nattrs[idx];
+    for (u32 j = 0; j < nattrs; ++j) {
+      u32 form = (u32)abbrev_forms[idx * 4 + j];  // <-- R1: j unclamped
+      if (form == 1) {                   // uleb constant
+        out(read_uleb(f, limit));
+      } else if (form == 2) {            // 4-byte constant
+        out(read_u32(f, uleb_pos));
+        uleb_pos += 4;
+      } else if (form == 3) {            // str offset
+        u32 soff = read_uleb(f, limit);
+        u8 first = str_cache[soff];      // <-- R2: OOB read of str cache
+        out((u32)first);
+      } else if (form == 4) {            // block
+        u32 blen = read_uleb(f, limit);
+        u32 bsum = 0;
+        for (u32 k = 0; k < blen && k < 64; ++k) {
+          bsum += (u32)f[uleb_pos];      // <-- R3: OOB input read
+          uleb_pos += 1;
+        }
+        out(bsum);
+      } else if (form == 5) {            // ranges ref
+        u32 rv = read_uleb(f, limit);
+        read_ranges(f, size, rv);
+      } else if (form == 6) {            // sibling offset
+        u32 sib = read_uleb(f, limit);
+        out((u32)f[sec_info_off + sib]); // <-- R7: OOB input read
+      } else {
+        uleb_pos += 1;                   // unknown form: skip a byte
+      }
+    }
+    if (uleb_pos < limit && f[uleb_pos] != 0) {
+      depth += 1;                        // has children
+    }
+    if (uleb_pos < limit) { uleb_pos += 1; }
+    dies += 1;
+    out(tag);
+  }
+  out(dies);
+  return 1;
+}
+
+// Trap phase: line-number state machine.
+u32 parse_line(u8* f, u32 size) {
+  if (sec_line_size == 0) { return 1; }
+  if (sec_line_off + sec_line_size > size) { return 0; }
+  u32 limit = sec_line_off + sec_line_size;
+  uleb_pos = sec_line_off;
+  u32 nfiles = read_uleb(f, limit);
+  for (u32 i = 0; i < nfiles; ++i) {
+    u32 name_hash = read_uleb(f, limit);
+    line_files[i] = (u8)name_hash;       // <-- W2: OOB write when > 16
+  }
+  u32 address = 0;
+  u32 line = 1;
+  u32 emitted = 0;
+  while (uleb_pos < limit && emitted < 100) {
+    u32 op = (u32)f[uleb_pos];
+    uleb_pos += 1;
+    if (op == 0) {                       // extended op
+      u32 arglen = read_uleb(f, limit);
+      u32 asum = 0;
+      for (u32 k = 0; k < arglen && k < 32; ++k) {
+        asum += (u32)f[uleb_pos + k];    // <-- R6: OOB input read
+      }
+      uleb_pos += arglen;
+      out(asum);
+    } else if (op == 1) {                // copy
+      out(address);
+      out(line);
+      emitted += 1;
+    } else if (op == 2) {                // advance pc
+      address += read_uleb(f, limit);
+    } else if (op == 3) {                // advance line
+      line += read_uleb(f, limit);
+    } else {                             // special opcode
+      address += op / 4;
+      line += op % 4;
+      out(line);
+      emitted += 1;
+    }
+  }
+  out(emitted);
+  return 1;
+}
+
+// Deep phase. R5: macro bytes are read at the raw section offset with no
+// bound check at all.
+u32 parse_macro(u8* f, u32 size) {
+  if (sec_macro_size == 0) { return 1; }
+  u32 n = sec_macro_size;
+  if (n > 32) { n = 32; }
+  u32 sum = 0;
+  for (u32 i = 0; i < n; ++i) {
+    sum += (u32)f[sec_macro_off + i];    // <-- R5: OOB input read
+  }
+  out(sum);
+  return 1;
+}
+
+// .debug_aranges: address-range tuple loop per compile unit.
+u32 parse_aranges(u8* f, u32 size) {
+  if (sec_aranges_size == 0) { return 1; }
+  if (sec_aranges_off + sec_aranges_size > size) { return 0; }
+  u32 limit = sec_aranges_off + sec_aranges_size;
+  u32 pos = sec_aranges_off;
+  u32 tuples = 0;
+  while (pos + 8 <= limit && tuples < 64) {
+    u32 addr = read_u32(f, pos);
+    u32 length = read_u32(f, pos + 4);
+    pos += 8;
+    if (addr == 0 && length == 0) { break; }
+    if (length == 0) { out('z'); } else { out(addr + length); }
+    tuples += 1;
+  }
+  out(tuples);
+  return 1;
+}
+
+// .debug_frame: a call-frame-information state machine (trap-ish loop).
+u32 parse_frame(u8* f, u32 size) {
+  if (sec_frame_size == 0) { return 1; }
+  if (sec_frame_off + sec_frame_size > size) { return 0; }
+  u32 limit = sec_frame_off + sec_frame_size;
+  uleb_pos = sec_frame_off;
+  u32 cfa_reg = 7;
+  u32 cfa_off = 8;
+  u32 loc = 0;
+  u32 rules = 0;
+  while (uleb_pos < limit && rules < 128) {
+    u32 op = (u32)f[uleb_pos];
+    uleb_pos += 1;
+    u32 hi = op >> 6;
+    u32 lo = op & 0x3f;
+    if (hi == 1) {                      // advance_loc
+      loc += lo;
+      out(loc);
+    } else if (hi == 2) {               // offset(reg, uleb)
+      u32 o = read_uleb(f, limit);
+      out(lo);
+      out(o * 4);
+    } else if (hi == 3) {               // restore(reg)
+      out(lo);
+    } else if (op == 0x0c) {            // def_cfa reg, off
+      cfa_reg = read_uleb(f, limit);
+      cfa_off = read_uleb(f, limit);
+      out(cfa_reg);
+      out(cfa_off);
+    } else if (op == 0x0e) {            // def_cfa_offset
+      cfa_off = read_uleb(f, limit);
+      out(cfa_off);
+    } else if (op == 0x02) {            // advance_loc1
+      if (uleb_pos < limit) { loc += (u32)f[uleb_pos]; uleb_pos += 1; }
+      out(loc);
+    } else if (op == 0x00) {            // nop
+    } else {
+      out(op);
+    }
+    rules += 1;
+  }
+  out(rules);
+  return 1;
+}
+
+u32 main(u8* file, u32 size) {
+  if (read_sections(file, size) == 0) { return 1; }
+  if (load_str_cache(file, size) == 0) { return 2; }
+  if (parse_abbrev(file, size) == 0) { return 3; }
+  if (parse_info(file, size) == 0) { return 4; }
+  if (parse_line(file, size) == 0) { return 5; }
+  if (parse_macro(file, size) == 0) { return 6; }
+  if (parse_aranges(file, size) == 0) { return 7; }
+  if (parse_frame(file, size) == 0) { return 8; }
+  return 0;
+}
+)MINIC";
+}
+
+namespace {
+
+void push_u16d(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  v.push_back(static_cast<std::uint8_t>(x));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+
+void push_u32d(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  for (int i = 0; i < 4; ++i) v.push_back(static_cast<std::uint8_t>(x >> (8 * i)));
+}
+
+void push_uleb(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  do {
+    std::uint8_t b = x & 0x7f;
+    x >>= 7;
+    if (x != 0) b |= 0x80;
+    v.push_back(b);
+  } while (x != 0);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> make_mdwf_seed(unsigned scale) {
+  // Build the six section payloads first.
+  std::vector<std::uint8_t> abbrev;
+  // abbrev 1: tag 17 (compile unit), 3 attrs: forms 1 (uleb), 3 (str), 2 (u32)
+  push_uleb(abbrev, 1);
+  push_uleb(abbrev, 17);
+  push_uleb(abbrev, 3);
+  push_uleb(abbrev, 1);
+  push_uleb(abbrev, 3);
+  push_uleb(abbrev, 2);
+  // abbrev 2: tag 46 (subprogram), 2 attrs: forms 4 (block), 5 (ranges)
+  push_uleb(abbrev, 2);
+  push_uleb(abbrev, 46);
+  push_uleb(abbrev, 2);
+  push_uleb(abbrev, 4);
+  push_uleb(abbrev, 5);
+  push_uleb(abbrev, 0);  // terminator
+
+  std::vector<std::uint8_t> info;
+  // DIE: compile unit (code 1) with children.
+  push_uleb(info, 1);
+  push_uleb(info, 42);            // form 1: uleb constant
+  push_uleb(info, 4);             // form 3: str offset 4
+  push_u32d(info, 0x11223344);    // form 2
+  info.push_back(1);              // children flag
+  for (unsigned i = 0; i < scale; ++i) {
+    // DIE: subprogram (code 2), no children.
+    push_uleb(info, 2);
+    push_uleb(info, 3);           // form 4: block length 3
+    info.push_back(static_cast<std::uint8_t>(i));
+    info.push_back(static_cast<std::uint8_t>(i + 1));
+    info.push_back(static_cast<std::uint8_t>(i + 2));
+    push_uleb(info, 0);           // form 5: ranges at offset 0
+    info.push_back(0);            // no children
+  }
+  push_uleb(info, 0);  // end of children
+
+  std::vector<std::uint8_t> line;
+  push_uleb(line, 2);   // two files
+  push_uleb(line, 0x21);
+  push_uleb(line, 0x35);
+  for (unsigned i = 0; i < 4 * scale; ++i) {
+    line.push_back(2);  // advance pc
+    push_uleb(line, 4);
+    line.push_back(1);  // copy
+  }
+  line.push_back(0);    // extended op
+  push_uleb(line, 2);
+  line.push_back(9);
+  line.push_back(9);
+
+  std::vector<std::uint8_t> str;
+  for (unsigned i = 0; i < 32 + 8 * scale && i < 128; ++i)
+    str.push_back(static_cast<std::uint8_t>('a' + i % 26));
+
+  std::vector<std::uint8_t> ranges;
+  push_u32d(ranges, 0x1000);
+  push_u32d(ranges, 0x2000);
+  push_u32d(ranges, 0);
+  push_u32d(ranges, 0);
+
+  std::vector<std::uint8_t> macro;
+  for (unsigned i = 0; i < 16; ++i) macro.push_back(static_cast<std::uint8_t>(i));
+
+  std::vector<std::uint8_t> aranges;
+  for (unsigned i = 0; i < 2 * scale; ++i) {
+    push_u32d(aranges, 0x4000 + i * 0x100);
+    push_u32d(aranges, 0x80 + i);
+  }
+  push_u32d(aranges, 0);
+  push_u32d(aranges, 0);
+
+  std::vector<std::uint8_t> frame;
+  frame.push_back(0x0c);        // def_cfa r7, 8
+  push_uleb(frame, 7);
+  push_uleb(frame, 8);
+  for (unsigned i = 0; i < 3 * scale; ++i) {
+    frame.push_back(static_cast<std::uint8_t>(0x40 | (1 + i % 16)));  // advance
+    frame.push_back(static_cast<std::uint8_t>(0x80 | (i % 8)));       // offset
+    push_uleb(frame, 2 + i % 4);
+  }
+  frame.push_back(0x0e);        // def_cfa_offset
+  push_uleb(frame, 16);
+
+  // Assemble: header + section table + payloads.
+  const std::vector<std::pair<std::uint16_t, const std::vector<std::uint8_t>*>>
+      sections = {{1, &abbrev}, {2, &info},    {3, &line},
+                  {4, &str},    {5, &ranges},  {6, &macro},
+                  {7, &aranges}, {8, &frame}};
+  std::vector<std::uint8_t> f = {'M', 'D', 'W', 'F'};
+  push_u16d(f, static_cast<std::uint32_t>(sections.size()));
+  std::uint32_t off =
+      6 + static_cast<std::uint32_t>(sections.size()) * 10;
+  std::vector<std::uint8_t> table;
+  for (const auto& [stype, payload] : sections) {
+    push_u16d(table, stype);
+    push_u32d(table, off);
+    push_u32d(table, static_cast<std::uint32_t>(payload->size()));
+    off += static_cast<std::uint32_t>(payload->size());
+  }
+  f.insert(f.end(), table.begin(), table.end());
+  for (const auto& [stype, payload] : sections) {
+    (void)stype;
+    f.insert(f.end(), payload->begin(), payload->end());
+  }
+  return f;
+}
+
+}  // namespace pbse::targets

@@ -1,0 +1,521 @@
+// gif2tiff — libtiff's gif2tiff analog.
+//
+// Format "MGIF": 6-byte header "MGIF87"/"MGIF89", screen descriptor
+//   { u16 width | u16 height | u8 flags | u8 background | u8 aspect },
+// optional global color table (when flags & 0x80; size 3 * 2^((flags&7)+1)),
+// then blocks: 0x2C image descriptor + LZW-style coded data in sub-blocks,
+// 0x21 extensions (graphics control 0xF9 / comment 0xFE / plain text 0x01),
+// 0x3B trailer. After the trailer the decoded image is converted and
+// written as a mini-TIFF (row conversion + strip checksumming).
+//
+// Injected bugs (2, Table III libtiff/gif2tiff rows, both "N"):
+//   * readcolormap: the entry count is computed with the WRONG flag mask
+//     ((flags & 15) instead of (flags & 7)), so crafted flags make
+//     3 * 2^16 entries stream into the fixed 768-byte color map ->
+//     out-of-bounds write.
+//   * lzw_decode: the table-growth guard uses the GIF-spec maximum (4096)
+//     instead of the 512-entry tables actually allocated -> out-of-bounds
+//     write once a clear-free stream pushes `avail` past 512 (and the
+//     prefix-chain expansion then reads out of bounds too).
+//
+// Phase structure (the paper's Fig 4 subject): header/colormap/extension
+// handling -> LZW decode double loop (trap) -> row conversion loop (trap)
+// -> strip write loop (trap). Distinct long loop regimes so BBV clustering
+// has real phases to find.
+#include "targets/targets.h"
+
+namespace pbse::targets {
+
+const char* gif2tiff_source() {
+  return R"MINIC(
+// ---- mini gif2tiff ---------------------------------------------------------
+
+u32 scr_width;
+u32 scr_height;
+u32 scr_flags;
+u32 gct_entries;
+u32 interlaced;
+u32 transparent_index;
+
+u8 colormap[768];
+u8 gamma_map[768];
+u16 prefix_tab[512];
+u8 suffix_tab[512];
+u8 stack_buf[512];
+u8 image_buf[4096];
+u8 row_rgb[1024];
+u32 strip_sums[64];
+
+u32 read_u16(u8* f, u32 off) {
+  return (u32)f[off] | ((u32)f[off + 1] << 8);
+}
+
+u32 check_header(u8* f, u32 size) {
+  if (size < 13) { return 0; }
+  if (f[0] != 'M') { return 0; }
+  if (f[1] != 'G') { return 0; }
+  if (f[2] != 'I') { return 0; }
+  if (f[3] != 'F') { return 0; }
+  if (f[4] != '8') { return 0; }
+  if (f[5] != '7' && f[5] != '9') { return 0; }
+  scr_width = read_u16(f, 6);
+  scr_height = read_u16(f, 8);
+  scr_flags = (u32)f[10];
+  out(scr_width);
+  out(scr_height);
+  return 1;
+}
+
+// BUG 1: the mask should be (flags & 7); & 15 lets entries reach 2^16 and
+// the copy overruns the 768-byte colormap (out-of-bounds write).
+u32 readcolormap(u8* f, u32 size, u32 off) {
+  u32 bits = (scr_flags & 15) + 1;
+  u32 entries = (u32)1 << bits;
+  gct_entries = entries;
+  for (u32 i = 0; i < entries; ++i) {
+    if (off + 3 > size) { return 0; }
+    colormap[i * 3] = f[off];          // <-- OOB write when entries > 256
+    colormap[i * 3 + 1] = f[off + 1];
+    colormap[i * 3 + 2] = f[off + 2];
+    off += 3;
+  }
+  out(entries);
+  return off;
+}
+
+// Gamma-correct the palette (pure table pass; part of the setup phase).
+u32 gamma_correct() {
+  for (u32 i = 0; i < 768; ++i) {
+    u32 v = (u32)colormap[i];
+    // piecewise approximation of v^(1/2.2) scaled to 255
+    u32 g = v;
+    if (v < 64) { g = v * 2; }
+    else if (v < 128) { g = 96 + v / 2; }
+    else { g = 128 + v / 4; }
+    if (g > 255) { g = 255; }
+    gamma_map[i] = (u8)g;
+  }
+  return 1;
+}
+
+// LZW-style decode over the sub-block byte stream. The nested loops over
+// sub-blocks and codes are the trap phase.
+// BUG 2: `code` indexes prefix_tab/suffix_tab without the table-size
+// check -> out-of-bounds read for crafted streams.
+u32 lzw_decode(u8* f, u32 size, u32 off, u32 pixels) {
+  if (off >= size) { return 0; }
+  u32 datasize = (u32)f[off];
+  off += 1;
+  if (datasize > 8) { return 0; }
+  u32 clear = (u32)1 << datasize;
+  u32 eoi = clear + 1;
+  u32 avail = clear + 2;
+  u32 codesize = datasize + 1;
+  u32 codemask = ((u32)1 << codesize) - 1;
+  u32 bits = 0;
+  u32 nbits = 0;
+  u32 oldcode = 0xffff;
+  u32 produced = 0;
+
+  for (u32 i = clear; i > 0; --i) {
+    prefix_tab[i - 1] = 0xffff;
+    suffix_tab[i - 1] = (u8)(i - 1);
+  }
+
+  while (off < size) {
+    u32 blocklen = (u32)f[off];
+    off += 1;
+    if (blocklen == 0) { break; }
+    if (off + blocklen > size) { return 0; }
+    for (u32 b = 0; b < blocklen; ++b) {
+      bits = bits | ((u32)f[off + b] << nbits);
+      nbits += 8;
+      while (nbits >= codesize) {
+        u32 code = bits & codemask;
+        bits = bits >> codesize;
+        nbits -= codesize;
+        if (code == clear) {
+          avail = clear + 2;
+          codesize = datasize + 1;
+          codemask = ((u32)1 << codesize) - 1;
+          oldcode = 0xffff;
+          continue;
+        }
+        if (code == eoi) { out(produced); return produced; }
+        // Expand the code through the prefix chain.
+        u32 sp = 0;
+        u32 cur = code;
+        while (cur > clear && sp < 500) {
+          stack_buf[sp] = suffix_tab[cur];   // <-- OOB read: cur unchecked
+          cur = (u32)prefix_tab[cur];        //     against the table size
+          sp += 1;
+        }
+        stack_buf[sp] = suffix_tab[cur & 511];
+        sp += 1;
+        while (sp > 0) {
+          sp -= 1;
+          image_buf[produced & 4095] = stack_buf[sp];
+          produced += 1;
+          if (produced > pixels) { return produced; }
+        }
+        if (oldcode != 0xffff && avail < 4096) {   // <-- wrong bound: the
+          prefix_tab[avail] = (u16)oldcode;          //     tables hold 512
+          suffix_tab[avail] = stack_buf[0];          //     entries (OOB write
+          avail += 1;                                //     once avail >= 512)
+          if ((avail & codemask) == 0 && codesize < 12) {
+            codesize += 1;
+            codemask = ((u32)1 << codesize) - 1;
+          }
+        }
+        oldcode = code;
+      }
+    }
+    off += blocklen;
+  }
+  return produced;
+}
+
+u32 skip_subblocks(u8* f, u32 size, u32 off) {
+  while (off < size) {
+    u32 len = (u32)f[off];
+    off += 1;
+    if (len == 0) { return off; }
+    off += len;
+  }
+  return off;
+}
+
+// Extension dispatch: graphics control sets transparency; others skipped.
+u32 handle_extension(u8* f, u32 size, u32 off) {
+  if (off >= size) { return 0; }
+  u32 label = (u32)f[off];
+  off += 1;
+  if (label == 0xF9) {                   // graphics control
+    if (off + 6 > size) { return 0; }
+    u32 blocklen = (u32)f[off];
+    u32 gflags = (u32)f[off + 1];
+    if (blocklen == 4 && (gflags & 1)) {
+      transparent_index = (u32)f[off + 4];
+      out(transparent_index);
+    }
+    return skip_subblocks(f, size, off);
+  }
+  if (label == 0xFE) {                   // comment: checksum the text
+    u32 pos = off;
+    u32 csum = 0;
+    while (pos < size) {
+      u32 len = (u32)f[pos];
+      pos += 1;
+      if (len == 0) { break; }
+      if (pos + len > size) { return 0; }
+      for (u32 i = 0; i < len; ++i) { csum += (u32)f[pos + i]; }
+      pos += len;
+    }
+    out(csum);
+    return pos;
+  }
+  if (label == 0x01) {                   // plain text: skip grid header
+    if (off + 13 > size) { return 0; }
+    return skip_subblocks(f, size, off + 13);
+  }
+  return skip_subblocks(f, size, off);
+}
+
+// Phase: convert decoded indices to RGB rows through the gamma-corrected
+// palette (per-pixel loop over the whole image).
+u32 convert_rows(u32 width, u32 height) {
+  u32 rows = height;
+  if (rows > 64) { rows = 64; }
+  u32 cols = width;
+  if (cols > 255) { cols = 255; }
+  u32 converted = 0;
+  for (u32 r = 0; r < rows; ++r) {
+    for (u32 c = 0; c < cols; ++c) {
+      u32 idx = (u32)image_buf[(r * cols + c) & 4095];
+      u32 pi = (idx & 255) * 3;
+      row_rgb[(c * 3) & 1023] = gamma_map[pi];
+      row_rgb[(c * 3 + 1) & 1023] = gamma_map[pi + 1];
+      row_rgb[(c * 3 + 2) & 1023] = gamma_map[pi + 2];
+      converted += 1;
+    }
+    strip_sums[r & 63] = (u32)row_rgb[0] + (u32)row_rgb[1];
+  }
+  out(converted);
+  return converted;
+}
+
+// Phase: write TIFF strips (checksum loop standing in for the encoder).
+u32 write_strips(u32 width, u32 height) {
+  u32 rows = height;
+  if (rows > 64) { rows = 64; }
+  u32 cols = width;
+  if (cols > 255) { cols = 255; }
+  u32 checksum = 0;
+  for (u32 r = 0; r < rows; ++r) {
+    u32 rowsum = strip_sums[r & 63];
+    for (u32 c = 0; c < cols; ++c) {
+      u32 idx = (u32)image_buf[(r * cols + c) & 4095];
+      rowsum = rowsum + (u32)colormap[(idx & 255) * 3];
+      rowsum = (rowsum << 1) | (rowsum >> 31);
+    }
+    checksum = checksum ^ rowsum;
+    out(rowsum & 0xff);
+  }
+  out(checksum);
+  return 1;
+}
+
+u32 pixel_hist[16];
+
+// Histogram analysis over the decoded image: the branches below only
+// unlock when many pixels take specific values — trivially true for real
+// images (the seed), nearly unreachable for symbolic execution that must
+// steer every pixel through the LZW decoder.
+u32 analyze_histogram(u32 width, u32 height) {
+  for (u32 i = 0; i < 16; ++i) { pixel_hist[i] = 0; }
+  u32 n = width * height;
+  if (n > 4096) { n = 4096; }
+  for (u32 i = 0; i < n; ++i) {
+    pixel_hist[(u32)image_buf[i] & 15] += 1;
+  }
+  u32 classes = 0;
+  if (pixel_hist[0] > 16) { out('0'); classes += 1; }
+  if (pixel_hist[1] > 16) { out('1'); classes += 1; }
+  if (pixel_hist[2] > 16) { out('2'); classes += 1; }
+  if (pixel_hist[3] > 16) { out('3'); classes += 1; }
+  if (pixel_hist[4] > 16) { out('4'); classes += 1; }
+  if (pixel_hist[5] > 16) { out('5'); classes += 1; }
+  if (pixel_hist[6] > 16) { out('6'); classes += 1; }
+  if (pixel_hist[7] > 16) { out('7'); classes += 1; }
+  if (classes > 6) { out('R'); }         // rich palette usage
+  else if (classes > 3) { out('M'); }
+  else if (classes > 1) { out('P'); }
+  else { out('F'); }                     // flat image
+  return classes;
+}
+
+// Edge statistics: adjacent-pixel differences classified into buckets.
+u32 detect_edges(u32 width, u32 height) {
+  u32 cols = width;
+  if (cols > 255) { cols = 255; }
+  u32 rows = height;
+  if (rows > 64) { rows = 64; }
+  if (cols < 2 || rows < 1) { return 0; }
+  u32 flat = 0;
+  u32 soft = 0;
+  u32 hard = 0;
+  for (u32 r = 0; r < rows; ++r) {
+    for (u32 c = 1; c < cols; ++c) {
+      u32 a = (u32)image_buf[(r * cols + c - 1) & 4095];
+      u32 b = (u32)image_buf[(r * cols + c) & 4095];
+      u32 d = a > b ? a - b : b - a;
+      if (d == 0) { flat += 1; }
+      else if (d < 3) { soft += 1; }
+      else { hard += 1; }
+    }
+  }
+  if (hard > soft && hard > flat) { out('H'); }
+  else if (soft > flat) { out('S'); }
+  else { out('L'); }
+  out(flat);
+  out(soft);
+  out(hard);
+  return hard;
+}
+
+// TIFF writer options, decided from raw GIF header fields: aspect byte,
+// screen flags (sort / color resolution bits), background index and the
+// transparency settings. Every branch is one more block that phase-guided
+// exploration unlocks by flipping a single input byte.
+u32 render_options(u8* f) {
+  u32 opts = 0;
+  u32 aspect = (u32)f[12];
+  if (aspect == 0) { out('d'); }                 // default 1:1
+  else if (aspect < 49) { opts |= 1; out('n'); } // narrow
+  else if (aspect == 49) { opts |= 2; out('q'); }// square
+  else { opts |= 3; out('w'); }                  // wide
+  if (scr_flags & 0x08) { opts |= 4; out('S'); } // sorted palette
+  u32 cres = (scr_flags >> 4) & 7;               // color resolution
+  if (cres == 0) { out('1'); }
+  else if (cres < 3) { opts |= 8; out('4'); }
+  else if (cres < 6) { opts |= 16; out('6'); }
+  else { opts |= 32; out('8'); }
+  u32 bg = (u32)f[11];                           // background index
+  if (bg >= gct_entries) { out('B'); opts |= 64; }
+  else if (bg == transparent_index) { out('T'); opts |= 128; }
+  else { out('b'); }
+  if (interlaced) { opts |= 256; out('I'); }
+  return opts;
+}
+
+// Strip compression choice: run-length heuristic over the first row, with
+// the decision thresholds driven by the color-resolution bits.
+u32 choose_compression(u32 width, u32 opts) {
+  u32 cols = width;
+  if (cols > 255) { cols = 255; }
+  u32 runs = 1;
+  for (u32 c = 1; c < cols; ++c) {
+    if (image_buf[c] != image_buf[c - 1]) { runs += 1; }
+  }
+  u32 threshold = 32;
+  if (opts & 8) { threshold = 16; }
+  else if (opts & 16) { threshold = 48; }
+  else if (opts & 32) { threshold = 96; }
+  if (runs < threshold / 4) { out('R'); return 2; }  // RLE pays off
+  if (runs < threshold) { out('L'); return 1; }      // LZW
+  out('N');
+  return 0;                                          // store raw
+}
+
+u32 main(u8* file, u32 size) {
+  if (check_header(file, size) == 0) { return 1; }
+  u32 off = 13;
+  if (scr_flags & 0x80) {
+    off = readcolormap(file, size, off);
+    if (off == 0) { return 2; }
+    gamma_correct();
+  }
+  u32 images = 0;
+  u32 last_w = 0;
+  u32 last_h = 0;
+  while (off < size) {
+    u32 block = (u32)file[off];
+    off += 1;
+    if (block == 0x2C) {                 // image descriptor
+      if (off + 9 > size) { return 3; }
+      u32 iw = read_u16(file, off + 4);
+      u32 ih = read_u16(file, off + 6);
+      u32 iflags = (u32)file[off + 8];
+      interlaced = (iflags >> 6) & 1;
+      off += 9;
+      if (iw == 0 || ih == 0) { return 4; }
+      if (iw < 8 || ih < 8) { out('t'); return 10; }  // no thumbnail strips
+      u32 produced = lzw_decode(file, size, off, iw * ih);
+      if (produced == 0) { return 5; }
+      off = skip_subblocks(file, size, off + 1);
+      last_w = iw;
+      last_h = ih;
+      images += 1;
+    } else if (block == 0x21) {          // extension
+      off = handle_extension(file, size, off);
+      if (off == 0) { return 6; }
+    } else if (block == 0x3B) {          // trailer
+      if (images == 0) { return 7; }
+      u32 opts = render_options(file);
+      convert_rows(last_w, last_h);
+      analyze_histogram(last_w, last_h);
+      detect_edges(last_w, last_h);
+      choose_compression(last_w, opts);
+      write_strips(last_w, last_h);
+      out(images);
+      return 0;
+    } else {
+      return 8;
+    }
+  }
+  return 9;
+}
+)MINIC";
+}
+
+std::vector<std::uint8_t> make_mgif_seed(unsigned scale) {
+  std::vector<std::uint8_t> g = {'M', 'G', 'I', 'F', '8', '7'};
+  const std::uint32_t width = 8 * scale;
+  const std::uint32_t height = 4 * scale;
+  g.push_back(static_cast<std::uint8_t>(width));
+  g.push_back(static_cast<std::uint8_t>(width >> 8));
+  g.push_back(static_cast<std::uint8_t>(height));
+  g.push_back(static_cast<std::uint8_t>(height >> 8));
+  g.push_back(0x80 | 0x02 | 0x20);  // GCT, 8 entries, color res 2
+  g.push_back(1);                   // background index
+  g.push_back(49);                  // aspect: square
+
+  for (unsigned i = 0; i < 8; ++i) {  // color table: 8 entries
+    g.push_back(static_cast<std::uint8_t>(i * 30));
+    g.push_back(static_cast<std::uint8_t>(255 - i * 30));
+    g.push_back(static_cast<std::uint8_t>(i * 11));
+  }
+
+  // Graphics-control extension with transparency.
+  g.push_back(0x21);
+  g.push_back(0xF9);
+  g.push_back(4);
+  g.push_back(1);  // flags: transparent
+  g.push_back(0);
+  g.push_back(0);
+  g.push_back(3);  // transparent index
+  g.push_back(0);
+
+  // A comment extension whose text scales with the seed.
+  g.push_back(0x21);
+  g.push_back(0xFE);
+  for (unsigned chunk = 0; chunk < scale; ++chunk) {
+    g.push_back(32);
+    for (unsigned i = 0; i < 32; ++i)
+      g.push_back(static_cast<std::uint8_t>('a' + (chunk + i) % 26));
+  }
+  g.push_back(0);
+
+  // Two images: the per-image LZW decode runs are temporally distinct
+  // phases that execute the SAME code — exactly the case where the
+  // coverage element of the BBV is needed to tell them apart (Fig 4).
+  auto push_image = [&g](std::uint32_t w, std::uint32_t h) {
+    g.push_back(0x2C);
+    for (int i = 0; i < 4; ++i) g.push_back(0);  // left, top
+    g.push_back(static_cast<std::uint8_t>(w));
+    g.push_back(static_cast<std::uint8_t>(w >> 8));
+    g.push_back(static_cast<std::uint8_t>(h));
+    g.push_back(static_cast<std::uint8_t>(h >> 8));
+    g.push_back(0);  // image flags
+
+    // LZW data: min code size 3 (clear=8, eoi=9). A clear code every four
+    // literals keeps `avail` below 16 so the decoder's code size stays at
+    // 4 bits, matching this packer.
+    g.push_back(3);  // datasize
+    std::vector<std::uint8_t> codes;
+    for (std::uint32_t p = 0; p < w * h && p < 6000; ++p) {
+      if (p % 4 == 0) codes.push_back(8);  // clear
+      codes.push_back(static_cast<std::uint8_t>(p % 8));  // literal
+    }
+    codes.push_back(9);  // eoi
+    // Pack 4-bit codes little-endian.
+    std::vector<std::uint8_t> packed;
+    std::uint32_t bits = 0, nbits = 0;
+    for (std::uint8_t c : codes) {
+      bits |= static_cast<std::uint32_t>(c) << nbits;
+      nbits += 4;
+      while (nbits >= 8) {
+        packed.push_back(static_cast<std::uint8_t>(bits & 0xff));
+        bits >>= 8;
+        nbits -= 8;
+      }
+    }
+    if (nbits > 0) packed.push_back(static_cast<std::uint8_t>(bits & 0xff));
+    // Emit as sub-blocks of <= 255 bytes.
+    std::size_t pos = 0;
+    while (pos < packed.size()) {
+      const std::size_t n = std::min<std::size_t>(255, packed.size() - pos);
+      g.push_back(static_cast<std::uint8_t>(n));
+      g.insert(g.end(), packed.begin() + pos, packed.begin() + pos + n);
+      pos += n;
+    }
+    g.push_back(0);  // sub-block terminator
+  };
+  // Multiple frames, comment-separated: the repeated LZW decodes are the
+  // temporally-distinct same-code phases of Fig 4.
+  push_image(width, height);
+  for (int frame = 0; frame < 2; ++frame) {
+    g.push_back(0x21);
+    g.push_back(0xFE);
+    g.push_back(8);
+    for (unsigned i = 0; i < 8; ++i)
+      g.push_back(static_cast<std::uint8_t>('f' + i + frame));
+    g.push_back(0);
+    push_image(width, height);
+  }
+
+  g.push_back(0x3B);  // trailer
+  return g;
+}
+
+}  // namespace pbse::targets

@@ -1,0 +1,517 @@
+// pngtest — libpng analog.
+//
+// Format "MPNG": 8-byte signature, then chunks of
+//   { u32 len | 4-byte type | data[len] | u32 crc }, where crc is a
+//   rotate-sum over TYPE + DATA (like real PNG CRCs cover both).
+// Chunk types: IHDR, PLTE, tIME, tEXt, IDAT, IEND.
+//
+// Injected bugs (the paper's libpng case study):
+//   * png_convert_to_rfc1123 / tIME: month == 0 makes the short_months
+//     index (month-1) % 12 == -1 -> out-of-bounds read (CVE-2015-7981
+//     analog, Fig 8).
+//   * png_check_keyword / tEXt: an all-spaces keyword walks kp below the
+//     buffer while trimming trailing spaces -> under-buffer access
+//     (CVE-2015-8540 analog, Fig 7).
+//
+// Phase structure: signature check -> IHDR -> per-chunk loop whose CRC
+// byte-sum check is an input-dependent loop (trap) -> IDAT row-filter
+// double loop (trap) -> ancillary chunk handlers.
+#include "targets/targets.h"
+
+namespace pbse::targets {
+
+const char* pngtest_source() {
+  return R"MINIC(
+// ---- mini libpng ----------------------------------------------------------
+
+u8 short_months[36] = {
+  'J','a','n', 'F','e','b', 'M','a','r', 'A','p','r',
+  'M','a','y', 'J','u','n', 'J','u','l', 'A','u','g',
+  'S','e','p', 'O','c','t', 'N','o','v', 'D','e','c'
+};
+u8 time_buffer[32];
+u8 new_key[80];
+u8 palette[768];
+u8 row_buffer[512];
+u8 prev_row[512];
+
+u32 ihdr_width;
+u32 ihdr_height;
+u32 ihdr_bit_depth;
+u32 ihdr_color_type;
+
+u32 read_u32(u8* f, u32 off) {
+  return (u32)f[off] | ((u32)f[off + 1] << 8)
+       | ((u32)f[off + 2] << 16) | ((u32)f[off + 3] << 24);
+}
+
+u32 check_signature(u8* f, u32 size) {
+  if (size < 8) { return 0; }
+  if (f[0] != 137) { return 0; }
+  if (f[1] != 'P') { return 0; }
+  if (f[2] != 'N') { return 0; }
+  if (f[3] != 'G') { return 0; }
+  if (f[4] != 13) { return 0; }
+  if (f[5] != 10) { return 0; }
+  if (f[6] != 26) { return 0; }
+  if (f[7] != 10) { return 0; }
+  return 1;
+}
+
+// CRC stand-in: sum of the data bytes, truncated to 32 bits. The loop over
+// the chunk body is input-length dependent -> symbolic execution must
+// reason about every byte to forge a chunk.
+u32 chunk_crc(u8* f, u32 off, u32 len) {
+  u32 sum = 0;
+  for (u32 i = 0; i < len; ++i) {
+    sum = sum + (u32)f[off + i];
+    sum = (sum << 1) | (sum >> 31);
+  }
+  return sum;
+}
+
+u32 png_handle_IHDR(u8* f, u32 off, u32 len) {
+  if (len < 13) { return 0; }
+  ihdr_width = read_u32(f, off);
+  ihdr_height = read_u32(f, off + 4);
+  ihdr_bit_depth = (u32)f[off + 8];
+  ihdr_color_type = (u32)f[off + 9];
+  if (ihdr_width == 0 || ihdr_height == 0) { return 0; }
+  if (ihdr_bit_depth != 1 && ihdr_bit_depth != 2 && ihdr_bit_depth != 4 &&
+      ihdr_bit_depth != 8 && ihdr_bit_depth != 16) { return 0; }
+  if (ihdr_color_type > 6) { return 0; }
+  out(ihdr_width);
+  out(ihdr_height);
+  return 1;
+}
+
+u32 png_handle_PLTE(u8* f, u32 off, u32 len) {
+  u32 entries = len / 3;
+  if (entries > 256) { entries = 256; }
+  for (u32 i = 0; i < entries; ++i) {
+    palette[i * 3] = f[off + i * 3];
+    palette[i * 3 + 1] = f[off + i * 3 + 1];
+    palette[i * 3 + 2] = f[off + i * 3 + 2];
+  }
+  out(entries);
+  return 1;
+}
+
+// Fig 8 analog (CVE-2015-7981): month == 0 gives index -1 into
+// short_months -> out-of-bounds read.
+u32 png_convert_to_rfc1123(u32 year, u32 month, u32 day,
+                           u32 hour, u32 minute, u32 second) {
+  i32 midx = ((i32)month - 1) % 12;
+  u8 m0 = short_months[midx * 3];       // <-- OOB read when month == 0
+  u8 m1 = short_months[midx * 3 + 1];
+  u8 m2 = short_months[midx * 3 + 2];
+  time_buffer[0] = (u8)('0' + day % 32 / 10);
+  time_buffer[1] = (u8)('0' + day % 10);
+  time_buffer[2] = ' ';
+  time_buffer[3] = m0;
+  time_buffer[4] = m1;
+  time_buffer[5] = m2;
+  time_buffer[6] = ' ';
+  time_buffer[7] = (u8)('0' + year % 10);
+  time_buffer[8] = ':';
+  time_buffer[9] = (u8)('0' + hour % 24 / 10);
+  time_buffer[10] = (u8)('0' + hour % 24 % 10);
+  time_buffer[11] = ':';
+  time_buffer[12] = (u8)('0' + minute % 60 / 10);
+  time_buffer[13] = (u8)('0' + minute % 60 % 10);
+  time_buffer[14] = ':';
+  time_buffer[15] = (u8)('0' + second % 61 / 10);
+  time_buffer[16] = (u8)('0' + second % 61 % 10);
+  out((u32)time_buffer[3]);
+  return 17;
+}
+
+u32 png_handle_tIME(u8* f, u32 off, u32 len) {
+  if (len < 7) { return 0; }
+  u32 year = (u32)f[off] | ((u32)f[off + 1] << 8);
+  u32 month = (u32)f[off + 2];
+  u32 day = (u32)f[off + 3];
+  u32 hour = (u32)f[off + 4];
+  u32 minute = (u32)f[off + 5];
+  u32 second = (u32)f[off + 6];
+  return png_convert_to_rfc1123(year, month, day, hour, minute, second);
+}
+
+// Fig 7 analog (CVE-2015-8540): trailing-space trimming can walk kp below
+// new_key when the keyword is entirely spaces.
+u32 png_check_keyword(u8* f, u32 off, u32 len) {
+  u32 key_len = 0;
+  while (key_len < len && key_len < 79 && f[off + key_len] != 0) {
+    new_key[key_len] = f[off + key_len];
+    key_len += 1;
+  }
+  new_key[key_len] = 0;
+  if (key_len == 0) { return 0; }
+  u8* kp = &new_key[0] + (key_len - 1);
+  if (*kp == ' ') {
+    while (*kp == ' ') {        // <-- reads below new_key when all spaces
+      *kp = 0;                  //     (under-buffer access)
+      kp = kp - 1;
+      key_len -= 1;
+    }
+  }
+  return key_len;
+}
+
+u32 png_handle_tEXt(u8* f, u32 off, u32 len) {
+  u32 key_len = png_check_keyword(f, off, len);
+  if (key_len == 0) { return 0; }
+  // Echo the text payload after the keyword's NUL.
+  u32 text_off = key_len + 1;
+  u32 shown = 0;
+  while (text_off + shown < len && shown < 16) {
+    out((u32)f[off + text_off + shown]);
+    shown += 1;
+  }
+  return 1;
+}
+
+// IDAT: per-row filter reconstruction — the deep nested loop (trap phase).
+u32 png_handle_IDAT(u8* f, u32 off, u32 len) {
+  u32 rowbytes = ihdr_width;
+  if (rowbytes > 511) { rowbytes = 511; }
+  if (rowbytes == 0) { return 0; }
+  u32 pos = 0;
+  u32 rows = 0;
+  while (pos < len) {
+    u32 filter = (u32)f[off + pos];
+    pos += 1;
+    u32 n = rowbytes;
+    if (n > len - pos) { n = len - pos; }
+    for (u32 i = 0; i < n; ++i) {
+      u32 raw = (u32)f[off + pos + i];
+      u32 left = 0;
+      if (i > 0) { left = (u32)row_buffer[i - 1]; }
+      u32 up = (u32)prev_row[i];
+      if (filter == 0) { row_buffer[i] = (u8)raw; }
+      else if (filter == 1) { row_buffer[i] = (u8)(raw + left); }
+      else if (filter == 2) { row_buffer[i] = (u8)(raw + up); }
+      else if (filter == 3) { row_buffer[i] = (u8)(raw + (left + up) / 2); }
+      else { row_buffer[i] = (u8)(raw + left + up); }
+    }
+    for (u32 i = 0; i < n; ++i) { prev_row[i] = row_buffer[i]; }
+    pos += n;
+    rows += 1;
+    if (rows > ihdr_height) { return 0; }
+  }
+  out(rows);
+  return 1;
+}
+
+u32 match_type(u8* f, u32 off, u8 a, u8 b, u8 c, u8 d) {
+  if (f[off] != a) { return 0; }
+  if (f[off + 1] != b) { return 0; }
+  if (f[off + 2] != c) { return 0; }
+  if (f[off + 3] != d) { return 0; }
+  return 1;
+}
+
+
+u32 gamma_value;
+u32 bkgd_index;
+u8 trans_alpha[256];
+u32 trans_count;
+u16 hist_counts[256];
+u8 recon_sig[8];
+
+u32 png_handle_gAMA(u8* f, u32 off, u32 len) {
+  if (len < 4) { return 0; }
+  gamma_value = read_u32(f, off);
+  if (gamma_value == 0) { return 0; }
+  if (gamma_value > 5000000) { out('G'); }
+  out(gamma_value);
+  return 1;
+}
+
+u32 png_handle_bKGD(u8* f, u32 off, u32 len) {
+  if (ihdr_color_type == 3) {
+    if (len < 1) { return 0; }
+    bkgd_index = (u32)f[off];
+    out(bkgd_index);
+    return 1;
+  }
+  if (len < 2) { return 0; }
+  out((u32)f[off] | ((u32)f[off + 1] << 8));
+  return 1;
+}
+
+u32 png_handle_tRNS(u8* f, u32 off, u32 len) {
+  if (ihdr_color_type != 3) { return 0; }
+  u32 n = len;
+  if (n > 256) { n = 256; }
+  for (u32 i = 0; i < n; ++i) {
+    trans_alpha[i] = f[off + i];
+  }
+  trans_count = n;
+  out(n);
+  return 1;
+}
+
+u32 png_handle_hIST(u8* f, u32 off, u32 len) {
+  u32 entries = len / 2;
+  if (entries > 256) { entries = 256; }
+  u32 peak = 0;
+  for (u32 i = 0; i < entries; ++i) {
+    u32 v = (u32)f[off + i * 2] | ((u32)f[off + i * 2 + 1] << 8);
+    hist_counts[i] = (u16)v;
+    if (v > peak) { peak = v; }
+  }
+  out(peak);
+  return 1;
+}
+
+u32 png_handle_pHYs(u8* f, u32 off, u32 len) {
+  if (len < 9) { return 0; }
+  u32 x_ppu = read_u32(f, off);
+  u32 y_ppu = read_u32(f, off + 4);
+  u32 unit = (u32)f[off + 8];
+  if (unit > 1) { return 0; }
+  if (x_ppu == y_ppu) { out('s'); } else { out('a'); }
+  return 1;
+}
+
+// zTXt: keyword + "compressed" text expanded with a run-length scheme
+// (stands in for zlib; still an input-driven decode loop).
+u32 png_handle_zTXt(u8* f, u32 off, u32 len) {
+  u32 key_len = png_check_keyword(f, off, len);
+  if (key_len == 0) { return 0; }
+  u32 pos = key_len + 2;   // NUL + compression method
+  u32 expanded = 0;
+  while (pos + 2 <= len && expanded < 256) {
+    u32 count = (u32)f[off + pos];
+    u32 byte = (u32)f[off + pos + 1];
+    pos += 2;
+    if (count == 0) { break; }
+    for (u32 i = 0; i < count && expanded < 256; ++i) {
+      out(byte);
+      expanded += 1;
+    }
+  }
+  out(expanded);
+  return 1;
+}
+
+// pngtest's round trip: re-walk the file chunk by chunk, recomputing every
+// CRC and comparing (the "write" half of pngtest).
+u32 png_write_roundtrip(u8* f, u32 size) {
+  for (u32 i = 0; i < 8; ++i) { recon_sig[i] = f[i]; }
+  u32 off = 8;
+  u32 rewritten = 0;
+  u32 mismatches = 0;
+  while (off + 12 <= size) {
+    u32 len = read_u32(f, off);
+    if (len > size - off - 12) { break; }
+    u32 data_off = off + 8;
+    u32 crc = chunk_crc(f, off + 4, len + 4);
+    if (crc != read_u32(f, data_off + len)) { mismatches += 1; }
+    rewritten += 1;
+    if (match_type(f, off + 4, 'I', 'E', 'N', 'D')) { break; }
+    off = data_off + len + 4;
+  }
+  out(rewritten);
+  out(mismatches);
+  return 1;
+}
+
+// Chunk-name validation (png_check_chunk_name): each of the four bytes
+// must be an ASCII letter; case bits carry chunk properties. Runs BEFORE
+// the CRC check, so plain symbolic execution explores it freely.
+u32 check_chunk_name(u8* f, u32 off) {
+  u32 props = 0;
+  for (u32 i = 0; i < 4; ++i) {
+    u32 c = (u32)f[off + i];
+    u32 upper = 0;
+    if (c >= 'A' && c <= 'Z') { upper = 1; }
+    else if (c >= 'a' && c <= 'z') { upper = 0; }
+    else { return 0xffffffff; }
+    props = (props << 1) | upper;
+  }
+  // bit3: critical, bit2: public, bit1: reserved (must be upper), bit0: copy-safe
+  if ((props & 2) == 0) { return 0xffffffff; }  // reserved bit violation
+  if (props & 8) { out('C'); } else { out('a'); }
+  if (props & 4) { out('P'); } else { out('p'); }
+  return props;
+}
+
+// Per-type length sanity (before the CRC gate).
+u32 check_chunk_length(u8* f, u32 off, u32 len) {
+  if (match_type(f, off, 'I', 'H', 'D', 'R')) { return len == 13; }
+  if (match_type(f, off, 't', 'I', 'M', 'E')) { return len == 7; }
+  if (match_type(f, off, 'g', 'A', 'M', 'A')) { return len == 4; }
+  if (match_type(f, off, 'p', 'H', 'Y', 's')) { return len == 9; }
+  if (match_type(f, off, 'P', 'L', 'T', 'E')) {
+    if (len % 3 != 0) { return 0; }
+    if (len > 768) { return 0; }
+    return 1;
+  }
+  if (match_type(f, off, 'I', 'E', 'N', 'D')) { return len == 0; }
+  if (len > 65535) { return 0; }
+  return 1;
+}
+
+u32 main(u8* file, u32 size) {
+  if (check_signature(file, size) == 0) { return 1; }
+  u32 off = 8;
+  u32 seen_ihdr = 0;
+  u32 chunks = 0;
+  while (off + 12 <= size) {
+    u32 len = read_u32(file, off);
+    if (len > size - off - 12) { return 2; }
+    u32 type_off = off + 4;
+    u32 data_off = off + 8;
+    if (check_chunk_name(file, type_off) == 0xffffffff) { return 7; }
+    if (check_chunk_length(file, type_off, len) == 0) { return 8; }
+    u32 stored_crc = read_u32(file, data_off + len);
+    u32 actual_crc = chunk_crc(file, type_off, len + 4);  // crc(type+data)
+    if (stored_crc != actual_crc) { return 3; }
+
+    if (match_type(file, type_off, 'I', 'H', 'D', 'R')) {
+      if (png_handle_IHDR(file, data_off, len) == 0) { return 4; }
+      seen_ihdr = 1;
+    } else if (seen_ihdr == 0) {
+      return 5;
+    } else if (match_type(file, type_off, 'P', 'L', 'T', 'E')) {
+      png_handle_PLTE(file, data_off, len);
+    } else if (match_type(file, type_off, 't', 'I', 'M', 'E')) {
+      png_handle_tIME(file, data_off, len);
+    } else if (match_type(file, type_off, 'g', 'A', 'M', 'A')) {
+      png_handle_gAMA(file, data_off, len);
+    } else if (match_type(file, type_off, 'b', 'K', 'G', 'D')) {
+      png_handle_bKGD(file, data_off, len);
+    } else if (match_type(file, type_off, 't', 'R', 'N', 'S')) {
+      png_handle_tRNS(file, data_off, len);
+    } else if (match_type(file, type_off, 'h', 'I', 'S', 'T')) {
+      png_handle_hIST(file, data_off, len);
+    } else if (match_type(file, type_off, 'p', 'H', 'Y', 's')) {
+      png_handle_pHYs(file, data_off, len);
+    } else if (match_type(file, type_off, 'z', 'T', 'X', 't')) {
+      png_handle_zTXt(file, data_off, len);
+    } else if (match_type(file, type_off, 't', 'E', 'X', 't')) {
+      png_handle_tEXt(file, data_off, len);
+    } else if (match_type(file, type_off, 'I', 'D', 'A', 'T')) {
+      png_handle_IDAT(file, data_off, len);
+    } else if (match_type(file, type_off, 'I', 'E', 'N', 'D')) {
+      png_write_roundtrip(file, size);
+      out(chunks);
+      return 0;
+    }
+    chunks += 1;
+    off = data_off + len + 4;
+  }
+  return 6;
+}
+)MINIC";
+}
+
+namespace {
+
+void push_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t mpng_crc(const std::vector<std::uint8_t>& data) {
+  std::uint32_t sum = 0;
+  for (std::uint8_t b : data) {
+    sum += b;
+    sum = (sum << 1) | (sum >> 31);
+  }
+  return sum;
+}
+
+void push_chunk(std::vector<std::uint8_t>& out, const char type[5],
+                const std::vector<std::uint8_t>& data) {
+  push_u32(out, static_cast<std::uint32_t>(data.size()));
+  std::vector<std::uint8_t> covered;  // crc covers type + data
+  for (int i = 0; i < 4; ++i)
+    covered.push_back(static_cast<std::uint8_t>(type[i]));
+  covered.insert(covered.end(), data.begin(), data.end());
+  out.insert(out.end(), covered.begin(), covered.end());
+  push_u32(out, mpng_crc(covered));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> make_mpng_seed(unsigned scale) {
+  std::vector<std::uint8_t> png = {137, 'P', 'N', 'G', 13, 10, 26, 10};
+
+  const std::uint32_t width = 16 * scale;
+  const std::uint32_t height = 4 * scale;
+  std::vector<std::uint8_t> ihdr;
+  push_u32(ihdr, width);
+  push_u32(ihdr, height);
+  ihdr.push_back(8);  // bit depth
+  ihdr.push_back(3);  // color type: palette
+  ihdr.push_back(0);  // compression
+  ihdr.push_back(0);  // filter
+  ihdr.push_back(0);  // interlace
+  push_chunk(png, "IHDR", ihdr);
+
+  std::vector<std::uint8_t> plte;
+  for (unsigned i = 0; i < 16 * scale && i < 256; ++i) {
+    plte.push_back(static_cast<std::uint8_t>(i * 3));
+    plte.push_back(static_cast<std::uint8_t>(255 - i));
+    plte.push_back(static_cast<std::uint8_t>(i * 7));
+  }
+  push_chunk(png, "PLTE", plte);
+
+  // Valid tIME (month 6).
+  push_chunk(png, "tIME", {230, 7, 6, 15, 12, 30, 45});
+
+  // Ancillary chunks: gamma, background, transparency, histogram, phys.
+  push_chunk(png, "gAMA", {0x18, 0x7a, 0x01, 0x00});  // 96792 LE-ish
+  push_chunk(png, "bKGD", {2});
+  {
+    std::vector<std::uint8_t> trns;
+    for (unsigned i = 0; i < 4 * scale && i < 256; ++i)
+      trns.push_back(static_cast<std::uint8_t>(255 - i));
+    push_chunk(png, "tRNS", trns);
+  }
+  {
+    std::vector<std::uint8_t> hist;
+    for (unsigned i = 0; i < 8 * scale && i < 256; ++i) {
+      hist.push_back(static_cast<std::uint8_t>(i * 3));
+      hist.push_back(static_cast<std::uint8_t>(i / 2));
+    }
+    push_chunk(png, "hIST", hist);
+  }
+  push_chunk(png, "pHYs", {72, 0, 0, 0, 72, 0, 0, 0, 1});
+  {
+    std::vector<std::uint8_t> ztxt = {'S', 'w', 0};
+    ztxt.push_back(0);  // method
+    for (unsigned i = 0; i < scale; ++i) {
+      ztxt.push_back(static_cast<std::uint8_t>(3 + i % 5));  // run length
+      ztxt.push_back(static_cast<std::uint8_t>('A' + i % 26));
+    }
+    ztxt.push_back(0);
+    push_chunk(png, "zTXt", ztxt);
+  }
+
+  // tEXt with a sane (short) keyword.
+  std::vector<std::uint8_t> text = {'C', 'm', 't', 0};
+  for (unsigned i = 0; i < 8 * scale; ++i)
+    text.push_back(static_cast<std::uint8_t>('a' + i % 26));
+  push_chunk(png, "tEXt", text);
+
+  // IDAT rows with mixed filters.
+  std::vector<std::uint8_t> idat;
+  const std::uint32_t rowbytes = width > 511 ? 511 : width;
+  for (std::uint32_t r = 0; r < height; ++r) {
+    idat.push_back(static_cast<std::uint8_t>(r % 5));  // filter
+    for (std::uint32_t i = 0; i < rowbytes; ++i)
+      idat.push_back(static_cast<std::uint8_t>((r * 31 + i * 7) & 0xff));
+  }
+  push_chunk(png, "IDAT", idat);
+
+  push_chunk(png, "IEND", {});
+  return png;
+}
+
+}  // namespace pbse::targets

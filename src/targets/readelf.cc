@@ -1,0 +1,605 @@
+// readelf — binutils readelf analog.
+//
+// Format "MELF" (24-byte header, little-endian):
+//   0-3   magic 0x7F 'M' 'E' 'L'
+//   4     class (1 or 2)          5     version (must be 1)
+//   6-7   e_type                  8-9   e_phnum
+//   10-11 e_shnum                 12-15 e_phoff
+//   16-19 e_shoff                 20-21 e_symnum
+//   22-23 e_symoff/16 (paragraph index of the symbol table)
+// Program header entry (12B): { u32 type | u32 offset | u32 size }
+// Section header entry (16B): { u16 name_off | u16 type | u32 flags |
+//                               u32 offset | u32 size }
+// Symbol entry (8B): { u16 name_off | u8 info | u8 other | u32 value }
+//
+// Phase structure mirrors the paper's Fig 1/2 analysis: Phase A handles the
+// file header + the FIVE input-dependent loops ending on e_phnum/e_shnum
+// (program headers, section headers, section groups, dynamic section,
+// symbols); Phase B processes section contents, notes and version info.
+// process_section_groups reproduces Fig 2's early returns that let a few
+// paths leak into Phase B.
+//
+// Injected bugs (4, Table III binutils rows):
+//   * process_symbols: symbol name_off indexes a fixed 64-byte string
+//     table copy without a bound -> OOB read.
+//   * process_section_contents: section offset+size unchecked against the
+//     file size -> OOB read of the input buffer.
+//   * process_notes: namesz-byte copy into a 32-byte name buffer guarded
+//     by the wrong limit -> OOB write.
+//   * process_version_info: count * entsize via checked_mul -> integer
+//     overflow report.
+#include "targets/targets.h"
+
+namespace pbse::targets {
+
+const char* readelf_source() {
+  return R"MINIC(
+// ---- mini readelf -----------------------------------------------------------
+
+u32 e_type;
+u32 e_phnum;
+u32 e_shnum;
+u32 e_phoff;
+u32 e_shoff;
+u32 e_symnum;
+u32 e_symoff;
+u32 do_dynamic;
+u32 do_section_groups;
+u32 do_notes;
+
+u8 strtab[64];
+u8 note_name[32];
+
+u32 read_u16(u8* f, u32 off) {
+  return (u32)f[off] | ((u32)f[off + 1] << 8);
+}
+
+u32 read_u32(u8* f, u32 off) {
+  return (u32)f[off] | ((u32)f[off + 1] << 8)
+       | ((u32)f[off + 2] << 16) | ((u32)f[off + 3] << 24);
+}
+
+u32 process_file_header(u8* f, u32 size) {
+  if (size < 24) { return 0; }
+  if (f[0] != 0x7f) { return 0; }
+  if (f[1] != 'M') { return 0; }
+  if (f[2] != 'E') { return 0; }
+  if (f[3] != 'L') { return 0; }
+  if (f[4] != 1 && f[4] != 2) { return 0; }
+  if (f[5] != 1) { return 0; }
+  e_type = read_u16(f, 6);
+  e_phnum = read_u16(f, 8);
+  e_shnum = read_u16(f, 10);
+  e_phoff = read_u32(f, 12);
+  e_shoff = read_u32(f, 16);
+  e_symnum = read_u16(f, 20);
+  e_symoff = read_u16(f, 22) * 16;
+  do_dynamic = e_type & 1;
+  do_section_groups = (e_type >> 1) & 1;
+  do_notes = (e_type >> 2) & 1;
+  out(e_phnum);
+  out(e_shnum);
+  return 1;
+}
+
+// Input-dependent loop #1: ends on e_phnum.
+u32 process_program_headers(u8* f, u32 size) {
+  if (e_phnum == 0) { return 1; }
+  if (e_phoff + e_phnum * 12 > size) { return 0; }
+  u32 loads = 0;
+  for (u32 i = 0; i < e_phnum; ++i) {
+    u32 off = e_phoff + i * 12;
+    u32 ptype = read_u32(f, off);
+    u32 poff = read_u32(f, off + 4);
+    u32 psize = read_u32(f, off + 8);
+    if (ptype == 1) {       // LOAD
+      loads += 1;
+      if (poff + psize > size) { out(0xdead); }
+    } else if (ptype == 2) { // DYNAMIC
+      out(poff);
+    }
+  }
+  out(loads);
+  return 1;
+}
+
+// Input-dependent loop #2: ends on e_shnum.
+u32 process_section_headers(u8* f, u32 size) {
+  if (e_shnum == 0) { return 1; }
+  if (e_shoff + e_shnum * 16 > size) { return 0; }
+  for (u32 i = 0; i < e_shnum; ++i) {
+    u32 off = e_shoff + i * 16;
+    u32 stype = read_u16(f, off + 2);
+    u32 ssize = read_u32(f, off + 12);
+    if (stype == 8) {        // NOBITS
+      out(ssize);
+    }
+  }
+  return 1;
+}
+
+// Fig 2 analog: early returns let some paths bypass loop #3 entirely.
+u32 process_section_groups(u8* f, u32 size) {
+  if (do_section_groups == 0) {
+    return 1;
+  }
+  if (e_shnum == 0) {
+    out('g');
+    return 1;
+  }
+  u32 groups = 0;
+  for (u32 i = 0; i < e_shnum; ++i) {     // input-dependent loop #3
+    u32 off = e_shoff + i * 16;
+    if (off + 16 > size) { return 0; }
+    u32 stype = read_u16(f, off + 2);
+    if (stype == 17) { groups += 1; }     // GROUP
+  }
+  out(groups);
+  return 1;
+}
+
+// Input-dependent loop #4: walks the dynamic section's tag/value pairs.
+u32 process_dynamic_section(u8* f, u32 size) {
+  if (do_dynamic == 0) { return 1; }
+  u32 dyn_off = 0;
+  u32 dyn_size = 0;
+  for (u32 i = 0; i < e_shnum; ++i) {
+    u32 off = e_shoff + i * 16;
+    if (off + 16 > size) { return 0; }
+    if (read_u16(f, off + 2) == 6) {      // DYNAMIC section type
+      dyn_off = read_u32(f, off + 8);
+      dyn_size = read_u32(f, off + 12);
+    }
+  }
+  if (dyn_size == 0) { return 1; }
+  if (dyn_off + dyn_size > size) { return 0; }
+  u32 ent = 0;
+  while (ent + 8 <= dyn_size) {
+    u32 tag = read_u32(f, dyn_off + ent);
+    u32 val = read_u32(f, dyn_off + ent + 4);
+    if (tag == 0) { break; }              // DT_NULL
+    if (tag == 1) { out(val); }           // DT_NEEDED
+    ent += 8;
+  }
+  return 1;
+}
+
+// Input-dependent loop #5 + BUG 1: name_off indexes the fixed 64-byte
+// strtab copy without any bound check.
+u32 process_symbols(u8* f, u32 size) {
+  if (e_symnum == 0) { return 1; }
+  if (e_symoff + e_symnum * 8 > size) { return 0; }
+  // Fill the fixed-size string table copy from the tail of the symbol area.
+  u32 str_base = e_symoff + e_symnum * 8;
+  for (u32 i = 0; i < 64 && str_base + i < size; ++i) {
+    strtab[i] = f[str_base + i];
+  }
+  u32 named = 0;
+  for (u32 i = 0; i < e_symnum; ++i) {
+    u32 off = e_symoff + i * 8;
+    u32 name_off = read_u16(f, off);
+    u32 info = (u32)f[off + 2];
+    if (info == 1) {
+      u8 first = strtab[name_off];        // <-- BUG: OOB read, no bound
+      if (first != 0) { named += 1; }
+    }
+  }
+  out(named);
+  return 1;
+}
+
+// Phase B: dump section contents. BUG 2: sec_off + i can run past the end
+// of the file (missing size check before the dump loop).
+u32 process_section_contents(u8* f, u32 size) {
+  u32 dumped = 0;
+  for (u32 i = 0; i < e_shnum; ++i) {
+    u32 off = e_shoff + i * 16;
+    if (off + 16 > size) { return 0; }
+    u32 stype = read_u16(f, off + 2);
+    u32 sec_off = read_u32(f, off + 8);
+    u32 sec_size = read_u32(f, off + 12);
+    if (stype == 3) {                     // STRTAB: hex dump
+      u32 n = sec_size;
+      if (n > 16) { n = 16; }
+      for (u32 j = 0; j < n; ++j) {
+        out((u32)f[sec_off + j]);         // <-- BUG: sec_off unchecked
+        dumped += 1;
+      }
+    }
+  }
+  return dumped;
+}
+
+// BUG 3: namesz is limited to 256, but note_name only holds 32 bytes.
+u32 process_notes(u8* f, u32 size) {
+  if (do_notes == 0) { return 1; }
+  for (u32 i = 0; i < e_shnum; ++i) {
+    u32 off = e_shoff + i * 16;
+    if (off + 16 > size) { return 0; }
+    if (read_u16(f, off + 2) != 7) { continue; }   // NOTE section type
+    u32 noff = read_u32(f, off + 8);
+    u32 nsize = read_u32(f, off + 12);
+    if (noff + nsize > size || nsize < 8) { continue; }
+    u32 namesz = read_u32(f, noff);
+    u32 descsz = read_u32(f, noff + 4);
+    if (namesz > 256) { continue; }       // wrong limit (should be 32)
+    if (8 + namesz > nsize) { continue; }
+    for (u32 j = 0; j < namesz; ++j) {
+      note_name[j] = f[noff + 8 + j];     // <-- BUG: OOB write when > 32
+    }
+    out(descsz);
+  }
+  return 1;
+}
+
+// BUG 4: count * entsize overflows u32 (reported by checked_mul).
+u32 process_version_info(u8* f, u32 size) {
+  for (u32 i = 0; i < e_shnum; ++i) {
+    u32 off = e_shoff + i * 16;
+    if (off + 16 > size) { return 0; }
+    if (read_u16(f, off + 2) != 11) { continue; } // VERSYM section type
+    u32 voff = read_u32(f, off + 8);
+    u32 count = read_u32(f, off + 12);
+    u32 entsize = read_u16(f, off);               // reuse name_off as entsize
+    if (entsize == 0) { continue; }
+    u32 total = checked_mul(count, entsize);      // <-- BUG: overflow
+    if (voff + total > size) { continue; }
+    u32 sum = 0;
+    u32 n = total;
+    if (n > 32) { n = 32; }
+    for (u32 j = 0; j < n; ++j) { sum += (u32)f[voff + j]; }
+    out(sum);
+  }
+  return 1;
+}
+
+// Decode section flag bits (readelf's get_elf_section_flags analog):
+// a chain of bit tests, each with its own observable output.
+u32 decode_section_flags(u32 flags) {
+  u32 shown = 0;
+  if (flags & 0x1) { out('W'); shown += 1; }
+  if (flags & 0x2) { out('A'); shown += 1; }
+  if (flags & 0x4) { out('X'); shown += 1; }
+  if (flags & 0x10) { out('M'); shown += 1; }
+  if (flags & 0x20) { out('S'); shown += 1; }
+  if (flags & 0x40) { out('I'); shown += 1; }
+  if (flags & 0x80) { out('L'); shown += 1; }
+  if (flags & 0x100) { out('O'); shown += 1; }
+  if (flags & 0x200) { out('G'); shown += 1; }
+  if (flags & 0x400) { out('T'); shown += 1; }
+  return shown;
+}
+
+// Relocation dump: per-entry type dispatch (readelf's dump_relocations).
+u32 process_relocs(u8* f, u32 size) {
+  u32 total = 0;
+  for (u32 i = 0; i < e_shnum; ++i) {
+    u32 off = e_shoff + i * 16;
+    if (off + 16 > size) { return 0; }
+    if (read_u16(f, off + 2) != 9) { continue; }   // REL section type
+    u32 roff = read_u32(f, off + 8);
+    u32 rsize = read_u32(f, off + 12);
+    if (roff + rsize > size) { return 0; }
+    u32 ent = 0;
+    while (ent + 8 <= rsize) {
+      u32 r_offset = read_u32(f, roff + ent);
+      u32 r_info = read_u32(f, roff + ent + 4);
+      u32 r_type = r_info & 0xff;
+      u32 r_sym = r_info >> 8;
+      if (r_type == 1) { out(r_offset); }          // ABS32
+      else if (r_type == 2) { out(r_offset + 4); } // PC32
+      else if (r_type == 3) { out(r_sym); }        // GOT32
+      else if (r_type == 4) { out(r_sym * 2); }    // PLT32
+      else if (r_type == 5) { }                    // COPY: nothing
+      else if (r_type == 6) { out(r_offset ^ r_sym); } // GLOB_DAT
+      else if (r_type == 7) { out(r_offset + r_sym); } // JMP_SLOT
+      else { out(0xbad); }
+      total += 1;
+      ent += 8;
+    }
+  }
+  out(total);
+  return 1;
+}
+
+// Hash-table dump: bucket loop + chain walks (readelf's hash section).
+u32 process_hash_table(u8* f, u32 size) {
+  for (u32 i = 0; i < e_shnum; ++i) {
+    u32 off = e_shoff + i * 16;
+    if (off + 16 > size) { return 0; }
+    if (read_u16(f, off + 2) != 5) { continue; }   // HASH section type
+    u32 hoff = read_u32(f, off + 8);
+    u32 hsize = read_u32(f, off + 12);
+    if (hoff + hsize > size || hsize < 4) { continue; }
+    u32 nbucket = read_u16(f, hoff);
+    u32 nchain = read_u16(f, hoff + 2);
+    if (4 + (nbucket + nchain) * 2 > hsize) { continue; }
+    u32 longest = 0;
+    for (u32 b = 0; b < nbucket; ++b) {
+      u32 len = 0;
+      u32 idx = read_u16(f, hoff + 4 + b * 2);
+      while (idx != 0 && idx < nchain && len < 64) {
+        idx = read_u16(f, hoff + 4 + nbucket * 2 + idx * 2);
+        len += 1;
+      }
+      if (len > longest) { longest = len; }
+      out(len);
+    }
+    out(longest);
+  }
+  return 1;
+}
+
+// Arch-specific attribute section: tag/value pairs with nested dispatch.
+u32 process_arch_specific(u8* f, u32 size) {
+  for (u32 i = 0; i < e_shnum; ++i) {
+    u32 off = e_shoff + i * 16;
+    if (off + 16 > size) { return 0; }
+    if (read_u16(f, off + 2) != 12) { continue; }  // ARCH section type
+    u32 aoff = read_u32(f, off + 8);
+    u32 asize = read_u32(f, off + 12);
+    if (aoff + asize > size) { continue; }
+    u32 pos = 0;
+    while (pos + 2 <= asize) {
+      u32 tag = (u32)f[aoff + pos];
+      u32 val = (u32)f[aoff + pos + 1];
+      pos += 2;
+      if (tag == 0) { break; }
+      if (tag == 4) {                              // CPU arch
+        if (val < 3) { out('v'); } else if (val < 8) { out('V'); }
+        else { out('?'); }
+      } else if (tag == 6) {                       // FP arch
+        if (val == 0) { out('n'); } else { out('f'); }
+      } else if (tag == 8) {                       // align
+        out((u32)1 << (val & 7));
+      } else {
+        out(tag);
+      }
+    }
+  }
+  return 1;
+}
+
+// Unwind-table dump: per-entry opcode decode loop.
+u32 process_unwind(u8* f, u32 size) {
+  for (u32 i = 0; i < e_shnum; ++i) {
+    u32 off = e_shoff + i * 16;
+    if (off + 16 > size) { return 0; }
+    if (read_u16(f, off + 2) != 13) { continue; }  // UNWIND section type
+    u32 uoff = read_u32(f, off + 8);
+    u32 usize = read_u32(f, off + 12);
+    if (uoff + usize > size) { continue; }
+    u32 pos = 0;
+    while (pos + 8 <= usize) {
+      u32 fn_addr = read_u32(f, uoff + pos);
+      u32 word = read_u32(f, uoff + pos + 4);
+      pos += 8;
+      out(fn_addr);
+      // Decode up to 4 unwind opcodes packed in the word.
+      for (u32 b = 0; b < 4; ++b) {
+        u32 op = (word >> (b * 8)) & 0xff;
+        if (op < 0x40) { out(op * 4); }            // vsp += imm
+        else if (op < 0x80) { out((op & 0x3f) * 4); } // vsp -= imm
+        else if (op == 0xb0) { break; }            // finish
+        else if (op < 0xc0) { out(op & 0xf); }     // pop regs
+        else { out('u'); }
+      }
+    }
+  }
+  return 1;
+}
+
+// Section-flag table pass: decode the flag field of every section.
+u32 process_section_flags(u8* f, u32 size) {
+  u32 shown = 0;
+  for (u32 i = 0; i < e_shnum; ++i) {
+    u32 off = e_shoff + i * 16;
+    if (off + 16 > size) { return 0; }
+    shown += decode_section_flags(read_u32(f, off + 4));
+  }
+  out(shown);
+  return 1;
+}
+
+// String-table walk: per-string inner loop over the 64-byte cache.
+u32 dump_string_table() {
+  u32 pos = 0;
+  u32 strings = 0;
+  while (pos < 64) {
+    u32 len = 0;
+    while (pos + len < 64 && strtab[pos + len] != 0) { len += 1; }
+    if (len > 0) { out(len); strings += 1; }
+    pos += len + 1;
+  }
+  out(strings);
+  return 1;
+}
+
+u32 main(u8* file, u32 size) {
+  if (process_file_header(file, size) == 0) { return 1; }
+  if (process_program_headers(file, size) == 0) { return 2; }
+  if (process_section_headers(file, size) == 0) { return 3; }
+  if (process_section_groups(file, size) == 0) { return 4; }
+  if (process_dynamic_section(file, size) == 0) { return 5; }
+  if (process_symbols(file, size) == 0) { return 6; }
+  if (process_section_flags(file, size) == 0) { return 7; }
+  if (process_relocs(file, size) == 0) { return 8; }
+  if (process_hash_table(file, size) == 0) { return 9; }
+  if (process_section_contents(file, size) == 0) { return 10; }
+  if (process_notes(file, size) == 0) { return 11; }
+  if (process_version_info(file, size) == 0) { return 12; }
+  if (process_arch_specific(file, size) == 0) { return 13; }
+  if (process_unwind(file, size) == 0) { return 14; }
+  if (dump_string_table() == 0) { return 15; }
+  return 0;
+}
+)MINIC";
+}
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& v, std::size_t off, std::uint32_t x) {
+  v[off] = static_cast<std::uint8_t>(x);
+  v[off + 1] = static_cast<std::uint8_t>(x >> 8);
+}
+
+void put_u32(std::vector<std::uint8_t>& v, std::size_t off, std::uint32_t x) {
+  v[off] = static_cast<std::uint8_t>(x);
+  v[off + 1] = static_cast<std::uint8_t>(x >> 8);
+  v[off + 2] = static_cast<std::uint8_t>(x >> 16);
+  v[off + 3] = static_cast<std::uint8_t>(x >> 24);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> make_melf_seed(unsigned scale) {
+  const std::uint32_t phnum = 2 + scale;
+  const std::uint32_t symnum = 2 * scale;
+
+  // Section payloads, generated first so the headers can point at them.
+  struct Section {
+    std::uint16_t type;
+    std::uint32_t flags;
+    std::vector<std::uint8_t> data;
+  };
+  std::vector<Section> sections;
+
+  {  // STRTAB (type 3)
+    Section s{3, 0x20, {}};
+    s.data.resize(16);
+    for (std::uint32_t i = 0; i < s.data.size(); ++i)
+      s.data[i] = static_cast<std::uint8_t>('a' + i % 26);
+    sections.push_back(std::move(s));
+  }
+  {  // DYNAMIC (type 6): NEEDED entries then NULL.
+    Section s{6, 0x3, {}};
+    for (unsigned i = 0; i < 1 + scale / 2; ++i) {
+      for (int b = 0; b < 4; ++b) s.data.push_back(b == 0 ? 1 : 0);  // tag 1
+      for (int b = 0; b < 4; ++b)
+        s.data.push_back(static_cast<std::uint8_t>(40 + i) * (b == 0));
+    }
+    for (int b = 0; b < 8; ++b) s.data.push_back(0);  // DT_NULL
+    sections.push_back(std::move(s));
+  }
+  {  // NOTE (type 7): namesz=8, descsz=4, name bytes.
+    Section s{7, 0x2, {}};
+    s.data = {8, 0, 0, 0, 4, 0, 0, 0};
+    for (int i = 0; i < 12; ++i) s.data.push_back('N');
+    sections.push_back(std::move(s));
+  }
+  {  // REL (type 9): relocation entries of varied types.
+    Section s{9, 0x42, {}};
+    for (unsigned i = 0; i < 2 * scale; ++i) {
+      const std::uint32_t r_offset = 0x100 + i * 4;
+      const std::uint32_t r_info = ((i % 8) == 0 ? 1 : (i % 8)) | (i << 8);
+      for (int b = 0; b < 4; ++b)
+        s.data.push_back(static_cast<std::uint8_t>(r_offset >> (8 * b)));
+      for (int b = 0; b < 4; ++b)
+        s.data.push_back(static_cast<std::uint8_t>(r_info >> (8 * b)));
+    }
+    sections.push_back(std::move(s));
+  }
+  {  // HASH (type 5): nbucket/nchain + tables.
+    Section s{5, 0x2, {}};
+    const std::uint16_t nbucket = 4;
+    const std::uint16_t nchain = static_cast<std::uint16_t>(4 + scale);
+    s.data.push_back(nbucket & 0xff);
+    s.data.push_back(nbucket >> 8);
+    s.data.push_back(nchain & 0xff);
+    s.data.push_back(nchain >> 8);
+    for (std::uint16_t b = 0; b < nbucket; ++b) {  // bucket heads
+      const std::uint16_t head = (b + 1) % nchain;
+      s.data.push_back(head & 0xff);
+      s.data.push_back(head >> 8);
+    }
+    for (std::uint16_t cidx = 0; cidx < nchain; ++cidx) {  // chains
+      const std::uint16_t next =
+          cidx + 4 < nchain ? static_cast<std::uint16_t>(cidx + 4) : 0;
+      s.data.push_back(next & 0xff);
+      s.data.push_back(next >> 8);
+    }
+    sections.push_back(std::move(s));
+  }
+  {  // ARCH attributes (type 12): tag/value pairs, 0-terminated.
+    Section s{12, 0, {}};
+    s.data = {4, 2, 6, 1, 8, 3, 5, 9, 0, 0};
+    sections.push_back(std::move(s));
+  }
+  {  // UNWIND (type 13): fn addr + packed opcodes.
+    Section s{13, 0x82, {}};
+    for (unsigned i = 0; i < 1 + scale / 2; ++i) {
+      const std::uint32_t addr = 0x8000 + i * 16;
+      const std::uint32_t word = 0x00b08041 + (i << 24);
+      for (int b = 0; b < 4; ++b)
+        s.data.push_back(static_cast<std::uint8_t>(addr >> (8 * b)));
+      for (int b = 0; b < 4; ++b)
+        s.data.push_back(static_cast<std::uint8_t>(word >> (8 * b)));
+    }
+    sections.push_back(std::move(s));
+  }
+  for (unsigned g = 0; g < scale; ++g) {  // GROUP fillers (type 17)
+    Section s{17, g % 2 ? 0x210u : 0x110u, {}};
+    s.data.resize(8, static_cast<std::uint8_t>(g));
+    sections.push_back(std::move(s));
+  }
+
+  const auto shnum = static_cast<std::uint32_t>(sections.size());
+  const std::uint32_t phoff = 24;
+  const std::uint32_t shoff = phoff + phnum * 12;
+  std::uint32_t symoff = shoff + shnum * 16;
+  symoff = (symoff + 15) / 16 * 16;  // paragraph aligned
+  const std::uint32_t stroff = symoff + symnum * 8;
+  std::uint32_t secdata = stroff + 64;
+
+  std::uint32_t total = secdata;
+  for (const Section& s : sections)
+    total += static_cast<std::uint32_t>(s.data.size());
+
+  std::vector<std::uint8_t> f(total, 0);
+  f[0] = 0x7f; f[1] = 'M'; f[2] = 'E'; f[3] = 'L';
+  f[4] = 1; f[5] = 1;
+  put_u16(f, 6, 0x7);  // do_dynamic | do_section_groups | do_notes
+  put_u16(f, 8, phnum);
+  put_u16(f, 10, shnum);
+  put_u32(f, 12, phoff);
+  put_u32(f, 16, shoff);
+  put_u16(f, 20, symnum);
+  put_u16(f, 22, symoff / 16);
+
+  // Program headers: LOADs + one DYNAMIC.
+  for (std::uint32_t i = 0; i < phnum; ++i) {
+    const std::uint32_t off = phoff + i * 12;
+    put_u32(f, off, i == 1 ? 2 : 1);
+    put_u32(f, off + 4, stroff + i * 4);
+    put_u32(f, off + 8, 8);
+  }
+
+  // Section headers + payload placement.
+  std::uint32_t payload = secdata;
+  for (std::uint32_t i = 0; i < shnum; ++i) {
+    const std::uint32_t off = shoff + i * 16;
+    const Section& s = sections[i];
+    put_u16(f, off, 4);  // name_off / entsize
+    put_u16(f, off + 2, s.type);
+    put_u32(f, off + 4, s.flags);
+    put_u32(f, off + 8, payload);
+    put_u32(f, off + 12, static_cast<std::uint32_t>(s.data.size()));
+    for (std::size_t b = 0; b < s.data.size(); ++b) f[payload + b] = s.data[b];
+    payload += static_cast<std::uint32_t>(s.data.size());
+  }
+
+  // Symbols referencing the string table.
+  for (std::uint32_t i = 0; i < symnum; ++i) {
+    const std::uint32_t off = symoff + i * 8;
+    put_u16(f, off, (i * 5) % 60);
+    f[off + 2] = 1;  // info: named
+    put_u32(f, off + 4, 0x1000 + i);
+  }
+  // String table content (read by process_symbols into its 64-byte cache).
+  for (std::uint32_t i = 0; i < 64; ++i)
+    f[stroff + i] = static_cast<std::uint8_t>('a' + i % 26);
+
+  return f;
+}
+
+}  // namespace pbse::targets

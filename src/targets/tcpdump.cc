@@ -1,0 +1,150 @@
+// tcpdump — negative control (paper Sec. IV-C "Others"): a packet printer
+// that does no deep multi-stage parsing, so pbSE finds no bugs in it and
+// gains little over plain symbolic execution. All accesses are properly
+// bounds-checked.
+//
+// Format "MPCP": header { 'M','P','C','P', u16 npkts }, then packets
+// { u32 ts | u16 caplen | data[caplen] }.
+#include "targets/targets.h"
+
+namespace pbse::targets {
+
+const char* tcpdump_source() {
+  return R"MINIC(
+// ---- mini tcpdump ----------------------------------------------------------
+
+u32 read_u16(u8* f, u32 off) {
+  return (u32)f[off] | ((u32)f[off + 1] << 8);
+}
+
+u32 read_u32(u8* f, u32 off) {
+  return (u32)f[off] | ((u32)f[off + 1] << 8)
+       | ((u32)f[off + 2] << 16) | ((u32)f[off + 3] << 24);
+}
+
+// Header pretty-printers: each reads FIXED offsets with explicit bounds
+// checks first — shallow single-pass printing, no stateful decode, which
+// is why pbSE finds nothing here (the paper's negative result).
+u32 print_ethernet(u8* f, u32 off, u32 caplen) {
+  if (caplen < 14) { return 0; }
+  for (u32 i = 0; i < 6; ++i) { out((u32)f[off + i]); }        // dst mac
+  u32 ethertype = ((u32)f[off + 12] << 8) | (u32)f[off + 13];
+  out(ethertype);
+  return ethertype;
+}
+
+u32 print_ipv4(u8* f, u32 off, u32 caplen) {
+  if (caplen < 34) { return 0; }
+  u32 ip = off + 14;
+  u32 vihl = (u32)f[ip];
+  if ((vihl >> 4) != 4) { out('?'); return 0; }
+  u32 ihl = (vihl & 15) * 4;
+  u32 total_len = ((u32)f[ip + 2] << 8) | (u32)f[ip + 3];
+  u32 ttl = (u32)f[ip + 8];
+  u32 proto = (u32)f[ip + 9];
+  out(total_len);
+  out(ttl);
+  for (u32 i = 0; i < 4; ++i) { out((u32)f[ip + 12 + i]); }    // src ip
+  for (u32 i = 0; i < 4; ++i) { out((u32)f[ip + 16 + i]); }    // dst ip
+  if (ihl < 20) { out('!'); return 0; }
+  return proto;
+}
+
+u32 print_udp(u8* f, u32 off, u32 caplen) {
+  if (caplen < 42) { return 0; }
+  u32 udp = off + 34;
+  out(((u32)f[udp] << 8) | (u32)f[udp + 1]);         // sport
+  out(((u32)f[udp + 2] << 8) | (u32)f[udp + 3]);     // dport
+  return 1;
+}
+
+u32 print_tcp(u8* f, u32 off, u32 caplen) {
+  if (caplen < 54) { return 0; }
+  u32 tcp = off + 34;
+  out(((u32)f[tcp] << 8) | (u32)f[tcp + 1]);         // sport
+  out(((u32)f[tcp + 2] << 8) | (u32)f[tcp + 3]);     // dport
+  u32 flags = (u32)f[tcp + 13];
+  if (flags & 0x02) { out('S'); }
+  if (flags & 0x10) { out('A'); }
+  if (flags & 0x01) { out('F'); }
+  if (flags & 0x04) { out('R'); }
+  return 1;
+}
+
+u32 print_packet(u8* f, u32 off, u32 caplen) {
+  u32 ethertype = print_ethernet(f, off, caplen);
+  if (ethertype == 0x0800) {             // IPv4
+    u32 proto = print_ipv4(f, off, caplen);
+    if (proto == 17) { print_udp(f, off, caplen); }
+    else if (proto == 6) { print_tcp(f, off, caplen); }
+    else if (proto != 0) { out(proto); }
+  }
+  // Hex-dump the first payload bytes.
+  u32 n = caplen;
+  if (n > 16) { n = 16; }
+  for (u32 i = 0; i < n; ++i) {
+    out((u32)f[off + i]);
+  }
+  return n;
+}
+
+u32 main(u8* file, u32 size) {
+  if (size < 6) { return 1; }
+  if (file[0] != 'M') { return 1; }
+  if (file[1] != 'P') { return 1; }
+  if (file[2] != 'C') { return 1; }
+  if (file[3] != 'P') { return 1; }
+  u32 npkts = read_u16(file, 4);
+  u32 off = 6;
+  u32 printed = 0;
+  for (u32 p = 0; p < npkts; ++p) {
+    if (off + 6 > size) { return 2; }
+    u32 ts = read_u32(file, off);
+    u32 caplen = read_u16(file, off + 4);
+    off += 6;
+    if (off + caplen > size) { return 3; }
+    out(ts);
+    printed += print_packet(file, off, caplen);
+    off += caplen;
+  }
+  out(printed);
+  return 0;
+}
+)MINIC";
+}
+
+std::vector<std::uint8_t> make_mpcp_seed(unsigned scale) {
+  std::vector<std::uint8_t> f = {'M', 'P', 'C', 'P'};
+  const std::uint32_t npkts = 2 * scale;
+  f.push_back(static_cast<std::uint8_t>(npkts));
+  f.push_back(static_cast<std::uint8_t>(npkts >> 8));
+  for (std::uint32_t p = 0; p < npkts; ++p) {
+    for (int i = 0; i < 4; ++i)
+      f.push_back(static_cast<std::uint8_t>((p * 1000) >> (8 * i)));
+    // Alternate UDP and TCP packets with proper ethernet/IP framing.
+    const bool tcp = p % 2 == 1;
+    const std::uint32_t caplen = (tcp ? 54 : 42) + p % 12;
+    f.push_back(static_cast<std::uint8_t>(caplen));
+    f.push_back(static_cast<std::uint8_t>(caplen >> 8));
+    std::vector<std::uint8_t> pkt(caplen, 0);
+    for (int i = 0; i < 12; ++i) pkt[i] = static_cast<std::uint8_t>(2 + i);
+    pkt[12] = 0x08;  // ethertype IPv4
+    pkt[13] = 0x00;
+    pkt[14] = 0x45;  // v4, ihl 5
+    pkt[16] = 0;
+    pkt[17] = static_cast<std::uint8_t>(caplen - 14);
+    pkt[22] = 64;    // ttl
+    pkt[23] = tcp ? 6 : 17;
+    for (int i = 0; i < 8; ++i)
+      pkt[26 + i] = static_cast<std::uint8_t>(10 + i + p);
+    pkt[34] = 0x13;  // sport
+    pkt[35] = 0x37;
+    pkt[36] = 0x00;  // dport
+    pkt[37] = 80;
+    if (tcp) pkt[47] = 0x12;  // SYN|ACK
+    f.insert(f.end(), pkt.begin(), pkt.end());
+  }
+  return f;
+}
+
+}  // namespace pbse::targets

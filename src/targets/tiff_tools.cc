@@ -1,0 +1,354 @@
+// tiff2rgba and tiff2bw — libtiff tool analogs sharing the "MTIF" format.
+//
+// Format "MTIF": 8-byte header { 'M','T','I','F', u32 ifd_off }, one IFD:
+//   { u16 count | count * 12-byte entries { u16 tag | u16 type | u32 n |
+//     u32 value } }.
+// Tags: 256 width, 257 height, 258 bits, 259 compression, 262 photometric,
+//       273 strip offset, 279 strip byte count.
+//
+// tiff2rgba injected bug (1, Table III): putcontig8bitCIELab is Fig 6
+// ported line-for-line — `pp` walks w*h*3 bytes through a fixed 257-byte
+// buffer -> out-of-bounds read when the file's w*h is large enough.
+//
+// tiff2bw injected bugs (2): band accumulation writes bands[bits] with the
+// band index taken from the file unchecked -> OOB write; and the total
+// pixel count w*h is computed with checked_mul -> integer-overflow report.
+//
+// Phase structure: header -> IFD entry loop (trap: count from file) ->
+// strip read loop -> per-pixel conversion double loop (trap, deep).
+#include "targets/targets.h"
+
+namespace pbse::targets {
+
+namespace {
+
+// Shared MTIF parsing prelude (placeholders: %BODY% is the tool-specific
+// part). Kept as one source string per tool for self-containedness.
+constexpr const char kTiffCommon[] = R"MINIC(
+u32 tag_width;
+u32 tag_height;
+u32 tag_bits;
+u32 tag_compression;
+u32 tag_photometric;
+u32 tag_strip_off;
+u32 tag_strip_count;
+u32 tag_predictor;
+u32 tag_orientation;
+u32 tag_resolution;
+u32 tag_nstrips;
+u32 strip_offs[8];
+u32 strip_lens[8];
+
+u8 pp_buf[257];
+u32 raster[1024];
+u8 bands[16];
+
+u32 read_u16(u8* f, u32 off) {
+  return (u32)f[off] | ((u32)f[off + 1] << 8);
+}
+
+u32 read_u32(u8* f, u32 off) {
+  return (u32)f[off] | ((u32)f[off + 1] << 8)
+       | ((u32)f[off + 2] << 16) | ((u32)f[off + 3] << 24);
+}
+
+u32 read_header(u8* f, u32 size) {
+  if (size < 8) { return 0; }
+  if (f[0] != 'M') { return 0; }
+  if (f[1] != 'T') { return 0; }
+  if (f[2] != 'I') { return 0; }
+  if (f[3] != 'F') { return 0; }
+  u32 ifd = read_u32(f, 4);
+  if (ifd + 2 > size) { return 0; }
+  return ifd;
+}
+
+// IFD entry loop: count is read from the file (input-dependent loop).
+u32 read_ifd(u8* f, u32 size, u32 ifd) {
+  u32 count = read_u16(f, ifd);
+  if (ifd + 2 + count * 12 > size) { return 0; }
+  for (u32 i = 0; i < count; ++i) {
+    u32 e = ifd + 2 + i * 12;
+    u32 tag = read_u16(f, e);
+    u32 ftype = read_u16(f, e + 2);
+    u32 n = read_u32(f, e + 4);
+    u32 value = read_u32(f, e + 8);
+    if (ftype == 0 || ftype > 5) { return 0; }   // malformed field type
+    if (tag == 256) { tag_width = value; }
+    else if (tag == 257) { tag_height = value; }
+    else if (tag == 258) { tag_bits = value; }
+    else if (tag == 259) { tag_compression = value; }
+    else if (tag == 262) { tag_photometric = value; }
+    else if (tag == 273) {
+      if (n <= 1) { tag_strip_off = value; tag_nstrips = 1; strip_offs[0] = value; }
+      else {
+        // value points at an offsets array
+        tag_nstrips = n;
+        if (tag_nstrips > 8) { tag_nstrips = 8; }
+        for (u32 k = 0; k < tag_nstrips; ++k) {
+          if (value + k * 4 + 4 > size) { return 0; }
+          strip_offs[k] = read_u32(f, value + k * 4);
+        }
+        tag_strip_off = strip_offs[0];
+      }
+    }
+    else if (tag == 279) {
+      if (n <= 1) { tag_strip_count = value; strip_lens[0] = value; }
+      else {
+        u32 m = n;
+        if (m > 8) { m = 8; }
+        for (u32 k = 0; k < m; ++k) {
+          if (value + k * 4 + 4 > size) { return 0; }
+          strip_lens[k] = read_u32(f, value + k * 4);
+        }
+        tag_strip_count = strip_lens[0];
+      }
+    }
+    else if (tag == 274) { tag_orientation = value; }
+    else if (tag == 282) { tag_resolution = value; }
+    else if (tag == 317) { tag_predictor = value; }
+  }
+  if (tag_width == 0 || tag_height == 0) { return 0; }
+  if (tag_orientation > 8) { return 0; }
+  out(tag_width);
+  out(tag_height);
+  return 1;
+}
+
+// Horizontal-differencing predictor pass (TIFF predictor 2).
+u32 apply_predictor(u32 n) {
+  if (tag_predictor != 2) { return 0; }
+  if (n > 257) { n = 257; }
+  for (u32 i = 1; i < n; ++i) {
+    pp_buf[i] = (u8)((u32)pp_buf[i] + (u32)pp_buf[i - 1]);
+  }
+  out('P');
+  return 1;
+}
+
+// Strip loader: concatenates all strips into pp_buf (bounded, correct).
+u32 load_strip(u8* f, u32 size) {
+  if (tag_nstrips == 0) { tag_nstrips = 1; strip_offs[0] = tag_strip_off;
+                          strip_lens[0] = tag_strip_count; }
+  u32 filled = 0;
+  for (u32 s = 0; s < tag_nstrips; ++s) {
+    u32 off = strip_offs[s];
+    u32 len = strip_lens[s];
+    if (off + len > size) { return 0; }
+    for (u32 i = 0; i < len && filled < 257; ++i) {
+      pp_buf[filled] = f[off + i];
+      filled += 1;
+    }
+  }
+  if (filled == 0) { return 0; }
+  apply_predictor(filled);
+  return filled;
+}
+)MINIC";
+
+}  // namespace
+
+const char* tiff2rgba_source() {
+  static const std::string source = std::string(kTiffCommon) + R"MINIC(
+// Fig 6 ported: DECLAREContigPutFunc(putcontig8bitCIELab). pp walks 3
+// bytes per pixel through the FIXED 257-byte buffer; when w*h*3 > 257 the
+// read runs out of bounds (the paper's libtiff case-study bug).
+u32 putcontig8bitCIELab(u32 w, u32 h, i32 fromskew, i32 toskew) {
+  u32 cp = 0;
+  u8* pp = &pp_buf[0];
+  fromskew = fromskew * 3;
+  while (h > 0) {
+    h -= 1;
+    for (u32 x = w; x > 0; --x) {
+      u32 l = (u32)pp[0];                 // <-- OOB read when w*h*3 > 257
+      u32 a = (u32)pp[1];
+      u32 b = (u32)pp[2];
+      u32 r = (l * 299 + a * 587 + b * 114) / 1000;
+      raster[cp & 1023] = (r << 16) | (a << 8) | b;
+      cp += 1;
+      pp = pp + 3;
+    }
+    cp = cp + (u32)toskew;
+    pp = pp + fromskew;
+  }
+  return cp;
+}
+
+// Grayscale path: one byte per pixel, orientation-aware write order.
+u32 putgray8(u32 w, u32 h) {
+  u32 n = w * h;
+  if (n > 257) { n = 257; }
+  u32 cp = 0;
+  for (u32 i = 0; i < n; ++i) {
+    u32 g = (u32)pp_buf[i];
+    u32 px = (g << 16) | (g << 8) | g;
+    if (tag_orientation == 1 || tag_orientation == 0) {
+      raster[cp & 1023] = px;
+    } else {
+      raster[(1023 - cp) & 1023] = px;    // bottom-up orientations
+    }
+    cp += 1;
+  }
+  return cp;
+}
+
+// Bilevel path: expand bits to pixels.
+u32 putbilevel(u32 w, u32 h) {
+  u32 n = w * h / 8 + 1;
+  if (n > 257) { n = 257; }
+  u32 cp = 0;
+  for (u32 i = 0; i < n; ++i) {
+    u32 byte = (u32)pp_buf[i];
+    for (u32 b = 0; b < 8; ++b) {
+      u32 bit = (byte >> (7 - b)) & 1;
+      raster[cp & 1023] = bit ? 0xFFFFFF : 0;
+      cp += 1;
+    }
+  }
+  return cp;
+}
+
+u32 gt_process(u32 w, u32 h) {
+  if (tag_photometric == 8) {             // CIELab
+    return putcontig8bitCIELab(w, h, 0, 0);
+  }
+  if (tag_photometric == 1 && tag_bits == 8) {   // grayscale
+    return putgray8(w, h);
+  }
+  if (tag_photometric == 0 && tag_bits == 1) {   // bilevel
+    return putbilevel(w, h);
+  }
+  // RGB path: bounded, correct.
+  u32 cp = 0;
+  u32 n = w * h;
+  if (n > 85) { n = 85; }                 // 85 * 3 = 255 <= 257
+  for (u32 i = 0; i < n; ++i) {
+    u32 r = (u32)pp_buf[i * 3];
+    raster[cp & 1023] = r << 16;
+    cp += 1;
+  }
+  return cp;
+}
+
+u32 main(u8* file, u32 size) {
+  u32 ifd = read_header(file, size);
+  if (ifd == 0) { return 1; }
+  if (read_ifd(file, size, ifd) == 0) { return 2; }
+  if (tag_bits != 8) { return 3; }
+  if (tag_compression != 1) { return 4; }
+  if (load_strip(file, size) == 0) { return 5; }
+  u32 pixels = gt_process(tag_width, tag_height);
+  out(pixels);
+  return 0;
+}
+)MINIC";
+  return source.c_str();
+}
+
+const char* tiff2bw_source() {
+  static const std::string source = std::string(kTiffCommon) + R"MINIC(
+// tiff2bw: accumulate per-band sums, then emit a grayscale strip.
+u32 accumulate_bands(u32 w, u32 h) {
+  // BUG: the band index comes straight from tag_bits without a bound
+  // check against the 8-entry bands array -> OOB write for crafted files.
+  u32 band = tag_bits;
+  u32 n = w;
+  if (n > 85) { n = 85; }
+  u32 sum = 0;
+  for (u32 i = 0; i < n; ++i) {
+    sum += (u32)pp_buf[i * 3];
+  }
+  bands[band] = (u8)sum;                  // <-- OOB write when bits > 15
+  return sum;
+}
+
+u32 emit_gray(u32 w, u32 h) {
+  // BUG: total pixel count via checked_mul -> integer-overflow report
+  // for large w*h.
+  u32 total = checked_mul(w, h);          // <-- overflow
+  u32 n = total;
+  if (n > 255) { n = 255; }
+  u32 check = 0;
+  for (u32 i = 0; i < n; ++i) {
+    u32 r = (u32)pp_buf[(i * 3) % 257];
+    u32 g = (u32)pp_buf[(i * 3 + 1) % 257];
+    u32 b = (u32)pp_buf[(i * 3 + 2) % 257];
+    u32 gray = (r * 28 + g * 59 + b * 11) / 100;
+    raster[i & 1023] = gray;
+    check += gray;
+  }
+  out(check);
+  return 1;
+}
+
+u32 main(u8* file, u32 size) {
+  u32 ifd = read_header(file, size);
+  if (ifd == 0) { return 1; }
+  if (read_ifd(file, size, ifd) == 0) { return 2; }
+  if (tag_compression != 1) { return 3; }
+  if (load_strip(file, size) == 0) { return 4; }
+  accumulate_bands(tag_width, tag_height);
+  emit_gray(tag_width, tag_height);
+  return 0;
+}
+)MINIC";
+  return source.c_str();
+}
+
+namespace {
+
+void push_u16v(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  v.push_back(static_cast<std::uint8_t>(x));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+}
+
+void push_u32v(std::vector<std::uint8_t>& v, std::uint32_t x) {
+  v.push_back(static_cast<std::uint8_t>(x));
+  v.push_back(static_cast<std::uint8_t>(x >> 8));
+  v.push_back(static_cast<std::uint8_t>(x >> 16));
+  v.push_back(static_cast<std::uint8_t>(x >> 24));
+}
+
+void push_entry(std::vector<std::uint8_t>& v, std::uint16_t tag,
+                std::uint32_t value) {
+  push_u16v(v, tag);
+  push_u16v(v, 3);  // type
+  push_u32v(v, 1);  // n
+  push_u32v(v, value);
+}
+
+std::vector<std::uint8_t> make_mtif(std::uint32_t width, std::uint32_t height,
+                                    std::uint32_t photometric,
+                                    unsigned strip_len) {
+  std::vector<std::uint8_t> t = {'M', 'T', 'I', 'F'};
+  push_u32v(t, 8);  // ifd at offset 8
+  const std::uint32_t entries = 7;
+  push_u16v(t, entries);
+  const std::uint32_t strip_off = 8 + 2 + entries * 12;
+  push_entry(t, 256, width);
+  push_entry(t, 257, height);
+  push_entry(t, 258, 8);   // bits
+  push_entry(t, 259, 1);   // compression: none
+  push_entry(t, 262, photometric);
+  push_entry(t, 273, strip_off);
+  push_entry(t, 279, strip_len);
+  for (unsigned i = 0; i < strip_len; ++i)
+    t.push_back(static_cast<std::uint8_t>((i * 13 + 7) & 0xff));
+  return t;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> make_mtif_seed(unsigned scale) {
+  // Benign: photometric RGB (2), small image, generous strip data so the
+  // conversion loops run but stay within pp_buf.
+  return make_mtif(5 + scale, 3, 2, 60 * scale);
+}
+
+std::vector<std::uint8_t> make_mtif_buggy_seed() {
+  // CIELab photometric with w*h*3 far beyond the 257-byte pp buffer:
+  // triggers the Fig 6 out-of-bounds read concretely (Fig 5(b) seed).
+  return make_mtif(64, 16, 8, 200);
+}
+
+}  // namespace pbse::targets

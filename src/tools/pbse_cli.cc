@@ -1,0 +1,217 @@
+// pbse — command-line driver, the downstream user's entry point.
+//
+//   pbse list
+//       List registered targets.
+//   pbse klee <target> [--searcher=S] [--sym-size=N] [--budget=T]
+//       Plain symbolic execution with a whole-file symbolic input.
+//   pbse run <target> [--seed-scale=K] [--budget=T]
+//       Full pbSE (Algorithm 1): concolic + phase analysis + scheduling.
+//   pbse concolic <target> [--seed-scale=K]
+//       Concolic run only; prints the BBV/phase summary.
+//   pbse phases <target> [--seed-scale=K]
+//       Phase division report (the Fig 4 view).
+//
+// Budgets are virtual-clock ticks (default 1,000,000 = the bench "1h").
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "concolic/concolic_executor.h"
+#include "core/driver.h"
+#include "phase/phase_analysis.h"
+#include "targets/targets.h"
+
+namespace {
+
+using namespace pbse;
+
+struct Args {
+  std::string command;
+  std::string target;
+  search::SearcherKind searcher = search::SearcherKind::kDefault;
+  std::uint32_t sym_size = 1000;
+  std::uint64_t budget = 1'000'000;
+  unsigned seed_scale = 6;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pbse <list|klee|run|concolic|phases> [target]\n"
+               "  --searcher=dfs|bfs|random-state|random-path|covnew|md2u|"
+               "default\n"
+               "  --sym-size=N   symbolic file size for 'klee' (default 1000)\n"
+               "  --budget=T     tick budget (default 1000000)\n"
+               "  --seed-scale=K seed generator scale (default 6)\n");
+  return 2;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  if (argc < 2) return false;
+  args.command = argv[1];
+  int pos = 2;
+  if (args.command != "list") {
+    if (argc < 3) return false;
+    args.target = argv[2];
+    pos = 3;
+  }
+  for (int i = pos; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--searcher=")) {
+      if (!search::parse_searcher_kind(v, args.searcher)) return false;
+    } else if (const char* v = value_of("--sym-size=")) {
+      args.sym_size = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--budget=")) {
+      args.budget = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value_of("--seed-scale=")) {
+      args.seed_scale = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+const targets::TargetInfo* find_target(const std::string& driver) {
+  for (const auto& t : targets::all_targets())
+    if (t.driver == driver) return &t;
+  std::fprintf(stderr, "unknown target '%s'; try 'pbse list'\n",
+               driver.c_str());
+  return nullptr;
+}
+
+void print_bugs(const vm::Executor& executor) {
+  for (const auto& bug : executor.bugs()) {
+    std::printf("BUG %s at %s:%u  (%s)\n", vm::bug_kind_name(bug.kind),
+                bug.function.c_str(), bug.line, bug.message.c_str());
+    std::printf("    witness:");
+    for (std::size_t i = 0; i < bug.input.size() && i < 24; ++i)
+      std::printf(" %02x", bug.input[i]);
+    if (bug.input.size() > 24) std::printf(" ...");
+    std::printf("\n");
+  }
+}
+
+int cmd_list() {
+  std::printf("%-12s %-10s %-8s %s\n", "driver", "package", "blocks",
+              "CVE analogs");
+  for (const auto& t : targets::all_targets()) {
+    ir::Module module = targets::build_target(t.source());
+    std::string cves;
+    for (const auto& c : t.cve_analogs)
+      if (c != "N") cves += c + " ";
+    std::printf("%-12s %-10s %-8u %s\n", t.driver.c_str(), t.package.c_str(),
+                module.total_blocks(), cves.c_str());
+  }
+  return 0;
+}
+
+int cmd_klee(const Args& args) {
+  const auto* info = find_target(args.target);
+  if (info == nullptr) return 1;
+  ir::Module module = targets::build_target(info->source());
+  core::KleeRunOptions options;
+  options.searcher = args.searcher;
+  options.sym_file_size = args.sym_size;
+  core::KleeRun run(module, "main", options);
+  run.run(args.budget);
+  std::printf("%s: covered %llu / %u blocks in %llu ticks (%s, sym-%u)\n",
+              args.target.c_str(),
+              static_cast<unsigned long long>(run.executor().num_covered()),
+              module.total_blocks(),
+              static_cast<unsigned long long>(run.clock().now()),
+              search::searcher_kind_name(args.searcher), args.sym_size);
+  std::printf("states live: %zu, test cases: %zu, bugs: %zu\n",
+              run.num_states(), run.executor().test_cases().size(),
+              run.executor().bugs().size());
+  print_bugs(run.executor());
+  return 0;
+}
+
+int cmd_run(const Args& args) {
+  const auto* info = find_target(args.target);
+  if (info == nullptr) return 1;
+  ir::Module module = targets::build_target(info->source());
+  const auto seed = info->seed(args.seed_scale);
+  core::PbseDriver driver(module, "main");
+  if (!driver.prepare(seed)) {
+    std::fprintf(stderr, "prepare failed: no symbolic branches on the seed\n");
+    return 1;
+  }
+  std::printf("concolic: %llu ticks, %zu phases (%u traps), %llu seedStates\n",
+              static_cast<unsigned long long>(driver.c_time_ticks()),
+              driver.phases().phases.size(), driver.phases().num_trap_phases,
+              static_cast<unsigned long long>(
+                  driver.stats().get("pbse.seed_states_kept")));
+  if (args.budget > driver.clock().now())
+    driver.run(args.budget - driver.clock().now());
+  std::printf("%s: covered %llu / %u blocks in %llu ticks\n",
+              args.target.c_str(),
+              static_cast<unsigned long long>(driver.executor().num_covered()),
+              module.total_blocks(),
+              static_cast<unsigned long long>(driver.clock().now()));
+  print_bugs(driver.executor());
+  return 0;
+}
+
+int cmd_concolic(const Args& args) {
+  const auto* info = find_target(args.target);
+  if (info == nullptr) return 1;
+  ir::Module module = targets::build_target(info->source());
+  VClock clock;
+  Stats stats;
+  Solver solver(clock, stats);
+  vm::Executor executor(module, solver, clock, stats);
+  const auto seed = info->seed(args.seed_scale);
+  const auto result = concolic::run_concolic(executor, "main", seed);
+  std::printf("%s: seed %zu bytes -> %llu instructions, %llu/%u blocks, "
+              "%zu BBV intervals, %zu seedStates, %zu bug(s)\n",
+              args.target.c_str(), seed.size(),
+              static_cast<unsigned long long>(result.instructions),
+              static_cast<unsigned long long>(executor.num_covered()),
+              module.total_blocks(), result.bbvs.size(),
+              result.seed_states.size(), executor.bugs().size());
+  print_bugs(executor);
+  return 0;
+}
+
+int cmd_phases(const Args& args) {
+  const auto* info = find_target(args.target);
+  if (info == nullptr) return 1;
+  ir::Module module = targets::build_target(info->source());
+  VClock clock;
+  Stats stats;
+  Solver solver(clock, stats);
+  vm::Executor executor(module, solver, clock, stats);
+  concolic::ConcolicOptions copts;
+  copts.record_trace = false;
+  const auto result =
+      concolic::run_concolic(executor, "main", info->seed(args.seed_scale), copts);
+  const auto analysis = phase::analyze_phases(result.bbvs);
+  std::printf("%s: %zu intervals, k=%u -> %zu phases, %u trap(s)\n",
+              args.target.c_str(), result.bbvs.size(), analysis.chosen_k,
+              analysis.phases.size(), analysis.num_trap_phases);
+  for (const auto& p : analysis.phases)
+    std::printf("  phase %u%s: %zu intervals, first tick %llu, longest run "
+                "%u\n",
+                p.id, p.is_trap ? " [trap]" : "", p.intervals.size(),
+                static_cast<unsigned long long>(p.first_ticks), p.longest_run);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage();
+  if (args.command == "list") return cmd_list();
+  if (args.command == "klee") return cmd_klee(args);
+  if (args.command == "run") return cmd_run(args);
+  if (args.command == "concolic") return cmd_concolic(args);
+  if (args.command == "phases") return cmd_phases(args);
+  return usage();
+}

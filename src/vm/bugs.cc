@@ -1,0 +1,18 @@
+#include "vm/bugs.h"
+
+namespace pbse::vm {
+
+const char* bug_kind_name(BugKind kind) {
+  switch (kind) {
+    case BugKind::kOutOfBoundsRead: return "out-of-bounds-read";
+    case BugKind::kOutOfBoundsWrite: return "out-of-bounds-write";
+    case BugKind::kNullDeref: return "null-deref";
+    case BugKind::kDivByZero: return "div-by-zero";
+    case BugKind::kIntegerOverflow: return "integer-overflow";
+    case BugKind::kAssertFail: return "assert-fail";
+    case BugKind::kUseAfterReturn: return "use-after-return";
+  }
+  return "?";
+}
+
+}  // namespace pbse::vm

@@ -1,0 +1,41 @@
+// Bug taxonomy and reports — the classes of memory error the paper's
+// evaluation counts (out-of-bounds read/write, integer overflow, null
+// dereference, division by zero, assertion failure).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pbse::vm {
+
+enum class BugKind : std::uint8_t {
+  kOutOfBoundsRead,
+  kOutOfBoundsWrite,
+  kNullDeref,
+  kDivByZero,
+  kIntegerOverflow,
+  kAssertFail,
+  kUseAfterReturn,
+};
+
+const char* bug_kind_name(BugKind kind);
+
+struct BugReport {
+  BugKind kind = BugKind::kAssertFail;
+  std::string function;   // enclosing function name
+  std::uint32_t line = 0; // MiniC source line
+  std::uint32_t global_bb = 0;
+  std::string message;
+  std::uint64_t found_at_ticks = 0;   // virtual time of discovery
+  std::uint64_t state_id = 0;
+  std::vector<std::uint8_t> input;    // triggering input (test case)
+
+  /// Bugs are deduplicated by site: (kind, function, line).
+  std::string site_key() const {
+    return std::string(bug_kind_name(kind)) + "@" + function + ":" +
+           std::to_string(line);
+  }
+};
+
+}  // namespace pbse::vm

@@ -1,0 +1,40 @@
+#include "vm/memory.h"
+
+namespace pbse::vm {
+
+std::shared_ptr<MemObject> MemObject::make(std::uint64_t size,
+                                           std::string name, bool writable) {
+  auto obj = std::make_shared<MemObject>();
+  obj->size = size;
+  obj->bytes.assign(size, mk_const(0, 8));
+  obj->writable = writable;
+  obj->name = std::move(name);
+  return obj;
+}
+
+std::shared_ptr<MemObject> MemObject::make_symbolic(const ArrayRef& array,
+                                                    std::string name) {
+  auto obj = std::make_shared<MemObject>();
+  obj->size = array->size();
+  obj->bytes.reserve(obj->size);
+  for (std::uint32_t i = 0; i < obj->size; ++i)
+    obj->bytes.push_back(mk_read(array, i));
+  obj->writable = true;
+  obj->name = std::move(name);
+  return obj;
+}
+
+std::shared_ptr<MemObject> MemObject::make_concrete(
+    std::uint64_t size, const std::vector<std::uint8_t>& init,
+    std::string name, bool writable) {
+  auto obj = std::make_shared<MemObject>();
+  obj->size = size;
+  obj->bytes.reserve(size);
+  for (std::uint64_t i = 0; i < size; ++i)
+    obj->bytes.push_back(mk_const(i < init.size() ? init[i] : 0, 8));
+  obj->writable = writable;
+  obj->name = std::move(name);
+  return obj;
+}
+
+}  // namespace pbse::vm

@@ -1,0 +1,74 @@
+// Per-state memory: copy-on-write byte objects addressed by object id.
+//
+// Cloning a state shallow-copies the object map (shared MemObject
+// pointers); the first write to a shared object clones it. Bytes are
+// symbolic expressions; concrete bytes are interned width-8 constants, so
+// a fully concrete object costs one pointer per byte.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace pbse::vm {
+
+/// One allocation: a fixed-size array of symbolic bytes.
+struct MemObject {
+  std::uint64_t size = 0;
+  std::vector<ExprRef> bytes;  // size() == size
+  bool writable = true;
+  bool alive = true;  // false after the owning frame returns
+  std::string name;   // for diagnostics ("global foo", "alloca", "input")
+
+  /// A zero-filled object.
+  static std::shared_ptr<MemObject> make(std::uint64_t size, std::string name,
+                                         bool writable = true);
+  /// An object backed by the symbolic array `array` (the input file).
+  static std::shared_ptr<MemObject> make_symbolic(const ArrayRef& array,
+                                                  std::string name);
+  /// An object with concrete initial contents, zero-padded to `size`.
+  static std::shared_ptr<MemObject> make_concrete(
+      std::uint64_t size, const std::vector<std::uint8_t>& init,
+      std::string name, bool writable);
+};
+
+/// The object map of one execution state. Value-copyable: copies share
+/// MemObjects until written (ensure_unique).
+class Memory {
+ public:
+  /// Adds an object under a fresh id and returns the id.
+  std::uint32_t add(std::shared_ptr<MemObject> obj) {
+    const std::uint32_t id = next_id_++;
+    objects_[id] = std::move(obj);
+    return id;
+  }
+
+  const MemObject* find(std::uint32_t id) const {
+    auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : it->second.get();
+  }
+
+  /// Returns a uniquely-owned, mutable view of object `id` (clones a shared
+  /// object first). Must exist.
+  MemObject& ensure_unique(std::uint32_t id) {
+    auto& slot = objects_.at(id);
+    if (slot.use_count() > 1) slot = std::make_shared<MemObject>(*slot);
+    return *slot;
+  }
+
+  /// Removes an object outright (frame teardown when use-after-return
+  /// detection is off — keeps the map, and therefore fork cost, small).
+  void erase(std::uint32_t id) { objects_.erase(id); }
+
+  std::size_t num_objects() const { return objects_.size(); }
+
+ private:
+  std::unordered_map<std::uint32_t, std::shared_ptr<MemObject>> objects_;
+  std::uint32_t next_id_ = 0;
+};
+
+}  // namespace pbse::vm

@@ -1,0 +1,17 @@
+// Generated test inputs (KLEE's .ktest analog).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pbse::vm {
+
+struct TestCase {
+  std::vector<std::uint8_t> input;
+  std::uint64_t state_id = 0;
+  std::uint64_t generated_at_ticks = 0;
+  std::string reason;  // "exit", "bug:<kind>", ...
+};
+
+}  // namespace pbse::vm

@@ -1,0 +1,53 @@
+// Runtime values of the VM: symbolic integers and typed pointers.
+//
+// A pointer is an (object id, symbolic byte offset) pair — KLEE's memory
+// model — so every access can be bounds-checked with a solver query and
+// out-of-bounds feasibility becomes a bug report.
+#pragma once
+
+#include <cstdint>
+
+#include "expr/expr.h"
+
+namespace pbse::vm {
+
+inline constexpr std::uint32_t kNullObject = ~std::uint32_t{0};
+
+/// A typed pointer value. `offset` always has width 64.
+struct Pointer {
+  std::uint32_t object = kNullObject;
+  ExprRef offset;  // null for the null pointer
+
+  bool is_null() const { return object == kNullObject; }
+
+  static Pointer null() { return {}; }
+  static Pointer to(std::uint32_t object, ExprRef offset) {
+    return {object, std::move(offset)};
+  }
+};
+
+/// A register value: unset, an integer expression, or a pointer.
+struct Value {
+  enum class Kind : std::uint8_t { kNone, kInt, kPtr };
+  Kind kind = Kind::kNone;
+  ExprRef i;  // kInt
+  Pointer p;  // kPtr
+
+  static Value none() { return {}; }
+  static Value from_int(ExprRef e) {
+    Value v;
+    v.kind = Kind::kInt;
+    v.i = std::move(e);
+    return v;
+  }
+  static Value from_ptr(Pointer p) {
+    Value v;
+    v.kind = Kind::kPtr;
+    v.p = std::move(p);
+    return v;
+  }
+  bool is_int() const { return kind == Kind::kInt; }
+  bool is_ptr() const { return kind == Kind::kPtr; }
+};
+
+}  // namespace pbse::vm

@@ -1,0 +1,347 @@
+// The injected-bug inventory: hand-crafted trigger files for the paper's
+// case-study bugs, replayed by plain concrete execution (no solver
+// involved), pinning each bug's precondition exactly as the paper's
+// Figs 6, 7, 8 describe — plus discovery tests that pbSE reaches the
+// deeper sites on its own.
+#include <gtest/gtest.h>
+
+#include "concolic/concolic_executor.h"
+#include "core/driver.h"
+#include "solver/solver.h"
+#include "targets/targets.h"
+
+namespace pbse {
+namespace {
+
+struct Replay {
+  std::vector<vm::BugReport> bugs;
+  vm::TerminationReason termination;
+};
+
+Replay replay(const char* source, const std::vector<std::uint8_t>& input) {
+  ir::Module module = targets::build_target(source);
+  VClock clock;
+  Stats stats;
+  Solver solver(clock, stats);
+  vm::Executor executor(module, solver, clock, stats);
+  concolic::ConcolicOptions options;
+  options.record_trace = false;
+  options.offpath_bug_checks = false;  // pure replay: no solver bugs
+  const auto result = concolic::run_concolic(executor, "main", input, options);
+  return Replay{executor.bugs(), result.termination};
+}
+
+// --- mini-PNG builders -------------------------------------------------------
+
+std::uint32_t mpng_crc(const std::vector<std::uint8_t>& data) {
+  std::uint32_t sum = 0;
+  for (std::uint8_t b : data) {
+    sum += b;
+    sum = (sum << 1) | (sum >> 31);
+  }
+  return sum;
+}
+
+void png_chunk(std::vector<std::uint8_t>& out, const char type[5],
+               const std::vector<std::uint8_t>& data) {
+  auto push32 = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  push32(static_cast<std::uint32_t>(data.size()));
+  std::vector<std::uint8_t> covered;  // crc covers type + data
+  for (int i = 0; i < 4; ++i)
+    covered.push_back(static_cast<std::uint8_t>(type[i]));
+  covered.insert(covered.end(), data.begin(), data.end());
+  out.insert(out.end(), covered.begin(), covered.end());
+  push32(mpng_crc(covered));
+}
+
+std::vector<std::uint8_t> png_with(const char type[5],
+                                   const std::vector<std::uint8_t>& data) {
+  std::vector<std::uint8_t> png = {137, 'P', 'N', 'G', 13, 10, 26, 10};
+  png_chunk(png, "IHDR",
+            {16, 0, 0, 0, 4, 0, 0, 0, 8, 3, 0, 0, 0});  // 16x4, depth 8, pal
+  png_chunk(png, type, data);
+  png_chunk(png, "IEND", {});
+  return png;
+}
+
+TEST(BugInventory, PngMonthZeroOobRead_CVE_2015_7981) {
+  // Fig 8: tIME with month == 0 -> short_months index -1.
+  const auto input = png_with("tIME", {230, 7, /*month=*/0, 15, 12, 30, 45});
+  const auto result = replay(targets::pngtest_source(), input);
+  ASSERT_EQ(result.bugs.size(), 1u);
+  EXPECT_EQ(result.bugs[0].kind, vm::BugKind::kOutOfBoundsRead);
+  EXPECT_EQ(result.bugs[0].function, "png_convert_to_rfc1123");
+}
+
+TEST(BugInventory, PngMonthInRangeIsClean) {
+  for (std::uint8_t month = 1; month <= 12; ++month) {
+    const auto input = png_with("tIME", {230, 7, month, 15, 12, 30, 45});
+    const auto result = replay(targets::pngtest_source(), input);
+    EXPECT_TRUE(result.bugs.empty()) << "month " << int(month);
+  }
+}
+
+TEST(BugInventory, PngAllSpacesKeywordUnderflow_CVE_2015_8540) {
+  // Fig 7: a keyword of only spaces walks kp below new_key.
+  const auto input = png_with("tEXt", {' ', ' ', ' ', 0, 'h', 'i'});
+  const auto result = replay(targets::pngtest_source(), input);
+  ASSERT_EQ(result.bugs.size(), 1u);
+  EXPECT_EQ(result.bugs[0].function, "png_check_keyword");
+}
+
+TEST(BugInventory, PngTrailingSpaceKeywordIsClean) {
+  // Trailing spaces after a real keyword are trimmed legally.
+  const auto input = png_with("tEXt", {'k', 'e', 'y', ' ', ' ', 0, 'h', 'i'});
+  const auto result = replay(targets::pngtest_source(), input);
+  EXPECT_TRUE(result.bugs.empty());
+}
+
+// --- mini-GIF builders --------------------------------------------------------
+
+TEST(BugInventory, GifColormapOverflowViaFlagMask) {
+  // readcolormap uses (flags & 15) instead of (flags & 7): flags 0x8B ->
+  // bits 12 -> 4096 entries streaming into the 768-byte colormap.
+  std::vector<std::uint8_t> gif = {'M', 'G', 'I', 'F', '8', '7',
+                                   16,  0,   16,  0,   0x8B, 0, 0};
+  // Enough color-table payload to reach entry 256 (offset 768).
+  for (int i = 0; i < 3 * 300; ++i)
+    gif.push_back(static_cast<std::uint8_t>(i));
+  const auto result = replay(targets::gif2tiff_source(), gif);
+  ASSERT_GE(result.bugs.size(), 1u);
+  EXPECT_EQ(result.bugs[0].kind, vm::BugKind::kOutOfBoundsWrite);
+  EXPECT_EQ(result.bugs[0].function, "readcolormap");
+}
+
+TEST(BugInventory, GifLzwCodeOverflowsDecodeTables) {
+  // A clear-free stream grows the code size to 10 bits; the out-of-table
+  // code 600 is then chased through suffix_tab[600] -> out-of-bounds read
+  // (and a longer literal run would also overflow the table writes).
+  std::vector<std::uint8_t> gif = {'M', 'G', 'I', 'F', '8', '7',
+                                   16,  0,   16,  0,   0x00, 0, 0};
+  gif.push_back(0x2C);  // image descriptor
+  for (int i = 0; i < 4; ++i) gif.push_back(0);
+  gif.push_back(16); gif.push_back(0);  // 16 x 16
+  gif.push_back(16); gif.push_back(0);
+  gif.push_back(0);
+  gif.push_back(8);  // datasize 8 -> clear 256, eoi 257
+  // Pack 9/10-bit codes: 255 literals grow avail past 512, then code 600.
+  std::vector<std::uint8_t> packed;
+  std::uint32_t bits = 0, nbits = 0;
+  unsigned codesize = 9;
+  unsigned avail = 258;
+  auto put = [&](std::uint32_t code) {
+    bits |= code << nbits;
+    nbits += codesize;
+    while (nbits >= 8) {
+      packed.push_back(static_cast<std::uint8_t>(bits & 0xff));
+      bits >>= 8;
+      nbits -= 8;
+    }
+  };
+  put(256);  // clear
+  for (unsigned i = 0; i < 255; ++i) {
+    put(i % 200);
+    if (i > 0) {  // decoder adds a table entry per code after the first
+      ++avail;
+      if ((avail & ((1u << codesize) - 1)) == 0) ++codesize;
+    }
+  }
+  put(600);  // out-of-table code at the grown code size
+  if (nbits > 0) packed.push_back(static_cast<std::uint8_t>(bits & 0xff));
+  std::size_t pos = 0;
+  while (pos < packed.size()) {
+    const std::size_t n = std::min<std::size_t>(255, packed.size() - pos);
+    gif.push_back(static_cast<std::uint8_t>(n));
+    gif.insert(gif.end(), packed.begin() + pos, packed.begin() + pos + n);
+    pos += n;
+  }
+  gif.push_back(0);
+  gif.push_back(0x3B);
+  const auto result = replay(targets::gif2tiff_source(), gif);
+  ASSERT_GE(result.bugs.size(), 1u);
+  EXPECT_EQ(result.bugs[0].kind, vm::BugKind::kOutOfBoundsRead);
+  EXPECT_EQ(result.bugs[0].function, "lzw_decode");
+}
+
+// --- mini-TIFF builders --------------------------------------------------------
+
+std::vector<std::uint8_t> mtif(std::uint32_t width, std::uint32_t height,
+                               std::uint32_t bits, std::uint32_t photometric,
+                               unsigned strip_len) {
+  std::vector<std::uint8_t> t = {'M', 'T', 'I', 'F'};
+  auto push32 = [&t](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      t.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  auto push16 = [&t](std::uint32_t v) {
+    t.push_back(static_cast<std::uint8_t>(v));
+    t.push_back(static_cast<std::uint8_t>(v >> 8));
+  };
+  push32(8);  // ifd offset
+  push16(7);  // entries
+  const std::uint32_t strip_off = 8 + 2 + 7 * 12;
+  auto entry = [&](std::uint16_t tag, std::uint32_t value) {
+    push16(tag);
+    push16(3);
+    push32(1);
+    push32(value);
+  };
+  entry(256, width);
+  entry(257, height);
+  entry(258, bits);
+  entry(259, 1);
+  entry(262, photometric);
+  entry(273, strip_off);
+  entry(279, strip_len);
+  for (unsigned i = 0; i < strip_len; ++i)
+    t.push_back(static_cast<std::uint8_t>(i * 7 + 3));
+  return t;
+}
+
+TEST(BugInventory, Tiff2RgbaCielabOobRead_Fig6) {
+  // w*h*3 far beyond the 257-byte pp buffer.
+  const auto result =
+      replay(targets::tiff2rgba_source(), mtif(64, 16, 8, 8, 200));
+  ASSERT_EQ(result.bugs.size(), 1u);
+  EXPECT_EQ(result.bugs[0].kind, vm::BugKind::kOutOfBoundsRead);
+  EXPECT_EQ(result.bugs[0].function, "putcontig8bitCIELab");
+}
+
+TEST(BugInventory, Tiff2RgbaSmallCielabIsClean) {
+  // 5 x 3 x 3 = 45 bytes < 257: in bounds.
+  const auto result =
+      replay(targets::tiff2rgba_source(), mtif(5, 3, 8, 8, 200));
+  EXPECT_TRUE(result.bugs.empty());
+}
+
+TEST(BugInventory, Tiff2BwBandIndexOobWrite) {
+  // tag_bits lands in bands[tag_bits] unchecked; 200 > 15.
+  const auto result =
+      replay(targets::tiff2bw_source(), mtif(5, 3, 200, 2, 60));
+  ASSERT_GE(result.bugs.size(), 1u);
+  EXPECT_EQ(result.bugs[0].kind, vm::BugKind::kOutOfBoundsWrite);
+  EXPECT_EQ(result.bugs[0].function, "accumulate_bands");
+}
+
+TEST(BugInventory, Tiff2BwPixelCountOverflow) {
+  // checked_mul(w, h) with 0x20000 * 0x20000 wraps 32 bits.
+  const auto result =
+      replay(targets::tiff2bw_source(), mtif(0x20000, 0x20000, 8, 2, 60));
+  bool overflow = false;
+  for (const auto& bug : result.bugs)
+    overflow = overflow || bug.kind == vm::BugKind::kIntegerOverflow;
+  EXPECT_TRUE(overflow);
+}
+
+
+// --- mini-ELF builders ---------------------------------------------------------
+
+std::vector<std::uint8_t> melf_with_symbol(std::uint16_t name_off) {
+  // Minimal MELF: no program/section headers, one symbol whose name_off
+  // indexes the fixed 64-byte string-table cache.
+  std::vector<std::uint8_t> f(48, 0);
+  f[0] = 0x7f; f[1] = 'M'; f[2] = 'E'; f[3] = 'L';
+  f[4] = 1; f[5] = 1;
+  // e_type 0: no dynamic/groups/notes. phnum = shnum = 0.
+  f[20] = 1;              // e_symnum = 1
+  f[22] = 2;              // e_symoff = 2 * 16 = 32
+  f[32] = static_cast<std::uint8_t>(name_off);
+  f[33] = static_cast<std::uint8_t>(name_off >> 8);
+  f[34] = 1;              // info: named
+  return f;
+}
+
+TEST(BugInventory, ReadelfSymbolNameOffsetOobRead) {
+  const auto result =
+      replay(targets::readelf_source(), melf_with_symbol(200));
+  ASSERT_GE(result.bugs.size(), 1u);
+  EXPECT_EQ(result.bugs[0].kind, vm::BugKind::kOutOfBoundsRead);
+  EXPECT_EQ(result.bugs[0].function, "process_symbols");
+}
+
+TEST(BugInventory, ReadelfSymbolNameInRangeIsClean) {
+  const auto result =
+      replay(targets::readelf_source(), melf_with_symbol(40));
+  EXPECT_TRUE(result.bugs.empty());
+}
+
+// --- mini-DWARF builders --------------------------------------------------------
+
+std::vector<std::uint8_t> mdwf(const std::vector<std::uint8_t>& abbrev,
+                               const std::vector<std::uint8_t>& info) {
+  std::vector<std::uint8_t> f = {'M', 'D', 'W', 'F', 2, 0};
+  auto entry = [&f](std::uint16_t type, std::uint32_t off, std::uint32_t size) {
+    f.push_back(static_cast<std::uint8_t>(type));
+    f.push_back(static_cast<std::uint8_t>(type >> 8));
+    for (int i = 0; i < 4; ++i) f.push_back(static_cast<std::uint8_t>(off >> (8 * i)));
+    for (int i = 0; i < 4; ++i) f.push_back(static_cast<std::uint8_t>(size >> (8 * i)));
+  };
+  const std::uint32_t base = 6 + 2 * 10;
+  entry(1, base, static_cast<std::uint32_t>(abbrev.size()));
+  entry(2, base + static_cast<std::uint32_t>(abbrev.size()),
+        static_cast<std::uint32_t>(info.size()));
+  f.insert(f.end(), abbrev.begin(), abbrev.end());
+  f.insert(f.end(), info.begin(), info.end());
+  return f;
+}
+
+TEST(BugInventory, DwarfdumpUnknownAbbrevCodeNullDeref) {
+  // Declared abbrev code 1; the DIE stream uses code 2 -> find_abbrev
+  // returns null and parse_info dereferences it.
+  const std::vector<std::uint8_t> abbrev = {1, 17, 0, 0};  // code 1, no attrs
+  const std::vector<std::uint8_t> info = {2, 0};           // unknown code 2
+  const auto result = replay(targets::dwarfdump_source(), mdwf(abbrev, info));
+  ASSERT_GE(result.bugs.size(), 1u);
+  EXPECT_EQ(result.bugs[0].kind, vm::BugKind::kNullDeref);
+  EXPECT_EQ(result.bugs[0].function, "parse_info");
+}
+
+TEST(BugInventory, DwarfdumpAbbrevTableOverflowWrite) {
+  // 70 abbrev declarations overflow the 64-entry tables (W1).
+  std::vector<std::uint8_t> abbrev;
+  for (int i = 1; i <= 70; ++i) {
+    abbrev.push_back(static_cast<std::uint8_t>(i));  // code (single-byte uleb)
+    abbrev.push_back(17);                            // tag
+    abbrev.push_back(0);                             // no attrs
+  }
+  abbrev.push_back(0);
+  const std::vector<std::uint8_t> info = {1, 0};
+  const auto result = replay(targets::dwarfdump_source(), mdwf(abbrev, info));
+  ASSERT_GE(result.bugs.size(), 1u);
+  EXPECT_EQ(result.bugs[0].kind, vm::BugKind::kOutOfBoundsWrite);
+  EXPECT_EQ(result.bugs[0].function, "parse_abbrev");
+}
+
+TEST(BugInventory, DwarfdumpStrOffsetOobRead) {
+  // Form 3 (str offset) indexes the 128-byte str cache unchecked (R2).
+  const std::vector<std::uint8_t> abbrev = {1, 17, 1, 3, 0};  // 1 attr, form 3
+  const std::vector<std::uint8_t> info = {1, 0xC8, 0x02, 0};  // uleb 328 > 128
+  const auto result = replay(targets::dwarfdump_source(), mdwf(abbrev, info));
+  ASSERT_GE(result.bugs.size(), 1u);
+  EXPECT_EQ(result.bugs[0].kind, vm::BugKind::kOutOfBoundsRead);
+  EXPECT_EQ(result.bugs[0].function, "parse_info");
+}
+
+// --- discovery: pbSE reaches the deep sites on its own -----------------------
+
+TEST(BugInventory, PbseDiscoversDeepReadelfBugs) {
+  ir::Module module = targets::build_target(targets::readelf_source());
+  core::PbseDriver driver(module, "main");
+  ASSERT_TRUE(driver.prepare(targets::make_melf_seed(4)));
+  driver.run(3'000'000);
+  EXPECT_GE(driver.executor().num_bug_sites(), 2u);
+}
+
+TEST(BugInventory, PbseDiscoversDeepDwarfdumpBugs) {
+  ir::Module module = targets::build_target(targets::dwarfdump_source());
+  core::PbseDriver driver(module, "main");
+  ASSERT_TRUE(driver.prepare(targets::make_mdwf_seed(4)));
+  driver.run(3'000'000);
+  EXPECT_GE(driver.executor().num_bug_sites(), 3u);
+}
+
+}  // namespace
+}  // namespace pbse

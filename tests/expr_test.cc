@@ -1,0 +1,197 @@
+// Expression library: construction, folding, interning, width semantics,
+// and differential properties of the evaluator.
+#include <gtest/gtest.h>
+
+#include "expr/evaluator.h"
+#include "expr/expr.h"
+#include "support/rng.h"
+
+namespace pbse {
+namespace {
+
+ArrayRef make_array(std::uint32_t size = 64) {
+  static int counter = 0;
+  return std::make_shared<Array>("t" + std::to_string(counter++), size);
+}
+
+TEST(Expr, ConstantFoldingArithmetic) {
+  EXPECT_EQ(mk_add(mk_const(3, 32), mk_const(4, 32))->constant_value(), 7u);
+  EXPECT_EQ(mk_sub(mk_const(3, 32), mk_const(4, 32))->constant_value(),
+            0xffffffffu);
+  EXPECT_EQ(mk_mul(mk_const(200, 8), mk_const(2, 8))->constant_value(),
+            144u);  // 400 mod 256
+  EXPECT_EQ(mk_udiv(mk_const(7, 32), mk_const(2, 32))->constant_value(), 3u);
+  EXPECT_EQ(mk_udiv(mk_const(7, 32), mk_const(0, 32))->constant_value(), 0u)
+      << "division by zero folds to 0 (the VM guards real divisions)";
+  EXPECT_EQ(mk_sdiv(mk_const(0xff, 8), mk_const(2, 8))->constant_value(),
+            0xffu & static_cast<std::uint64_t>(-1 / 2 - 0))
+      << "signed division of -1 by 2";
+}
+
+TEST(Expr, SignedFoldingUsesSignExtension) {
+  // -8 (0xf8 as i8) >> 1 arithmetic = -4 (0xfc).
+  EXPECT_EQ(mk_ashr(mk_const(0xf8, 8), mk_const(1, 8))->constant_value(),
+            0xfcu);
+  // slt: -1 < 1 at width 8.
+  EXPECT_TRUE(mk_slt(mk_const(0xff, 8), mk_const(1, 8))->is_true());
+  // ult: 0xff > 1 unsigned.
+  EXPECT_TRUE(mk_ult(mk_const(1, 8), mk_const(0xff, 8))->is_true());
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0x7f, 8), 127);
+  EXPECT_EQ(sign_extend(0xffff, 16), -1);
+}
+
+TEST(Expr, IdentitySimplifications) {
+  auto array = make_array();
+  const ExprRef x = mk_read(array, 0);
+  EXPECT_EQ(mk_add(x, mk_const(0, 8)).get(), x.get());
+  EXPECT_EQ(mk_mul(x, mk_const(1, 8)).get(), x.get());
+  EXPECT_TRUE(mk_mul(x, mk_const(0, 8))->is_constant());
+  EXPECT_EQ(mk_and(x, mk_const(0xff, 8)).get(), x.get());
+  EXPECT_TRUE(mk_and(x, mk_const(0, 8))->is_constant());
+  EXPECT_EQ(mk_or(x, mk_const(0, 8)).get(), x.get());
+  EXPECT_EQ(mk_xor(x, mk_const(0, 8)).get(), x.get());
+  EXPECT_TRUE(mk_sub(x, x)->is_constant());
+  EXPECT_TRUE(mk_eq(x, x)->is_true());
+  EXPECT_TRUE(mk_ult(x, x)->is_false());
+  EXPECT_TRUE(mk_ule(x, x)->is_true());
+}
+
+TEST(Expr, InterningGivesPointerIdentity) {
+  auto array = make_array();
+  const ExprRef a =
+      mk_add(mk_zext(mk_read(array, 3), 32), mk_const(17, 32));
+  const ExprRef b =
+      mk_add(mk_zext(mk_read(array, 3), 32), mk_const(17, 32));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_TRUE(expr_equal(a, b));
+}
+
+TEST(Expr, CommutativeCanonicalization) {
+  auto array = make_array();
+  const ExprRef x = mk_zext(mk_read(array, 0), 32);
+  const ExprRef y = mk_zext(mk_read(array, 1), 32);
+  EXPECT_EQ(mk_add(x, y).get(), mk_add(y, x).get());
+  EXPECT_EQ(mk_mul(x, y).get(), mk_mul(y, x).get());
+  EXPECT_EQ(mk_eq(x, y).get(), mk_eq(y, x).get());
+  // Constant lands on the right.
+  const ExprRef sum = mk_add(mk_const(5, 32), x);
+  ASSERT_EQ(sum->num_kids(), 2u);
+  EXPECT_TRUE(sum->kid(1)->is_constant());
+}
+
+TEST(Expr, ConcatExtractRoundtrip) {
+  auto array = make_array();
+  const ExprRef value =
+      mk_or(mk_zext(mk_read(array, 0), 32),
+            mk_shl(mk_zext(mk_read(array, 1), 32), mk_const(8, 32)));
+  // Byte-split then reassemble must give back the identical node.
+  const ExprRef b0 = mk_extract(value, 0, 8);
+  const ExprRef b1 = mk_extract(value, 8, 8);
+  const ExprRef b2 = mk_extract(value, 16, 8);
+  const ExprRef b3 = mk_extract(value, 24, 8);
+  const ExprRef joined =
+      mk_concat(b3, mk_concat(b2, mk_concat(b1, b0)));
+  EXPECT_EQ(joined.get(), value.get());
+}
+
+TEST(Expr, ExtractThroughConcatAndZext) {
+  auto array = make_array();
+  const ExprRef lo = mk_read(array, 0);
+  const ExprRef hi = mk_read(array, 1);
+  const ExprRef both = mk_concat(hi, lo);
+  EXPECT_EQ(mk_extract(both, 0, 8).get(), lo.get());
+  EXPECT_EQ(mk_extract(both, 8, 8).get(), hi.get());
+  const ExprRef wide = mk_zext(lo, 32);
+  EXPECT_EQ(mk_extract(wide, 0, 8).get(), lo.get());
+  EXPECT_TRUE(mk_extract(wide, 16, 8)->is_constant());
+}
+
+TEST(Expr, LogicalNotInvertsComparisons) {
+  auto array = make_array();
+  const ExprRef x = mk_zext(mk_read(array, 0), 32);
+  const ExprRef c = mk_const(10, 32);
+  EXPECT_EQ(mk_lnot(mk_ult(x, c)).get(), mk_ule(c, x).get());
+  EXPECT_EQ(mk_lnot(mk_lnot(mk_eq(x, c))).get(), mk_eq(x, c).get());
+}
+
+TEST(Expr, SelectSimplifications) {
+  auto array = make_array();
+  const ExprRef cond = mk_eq(mk_read(array, 0), mk_const(1, 8));
+  const ExprRef a = mk_const(10, 32);
+  const ExprRef b = mk_const(20, 32);
+  EXPECT_EQ(mk_select(mk_bool(true), a, b).get(), a.get());
+  EXPECT_EQ(mk_select(mk_bool(false), a, b).get(), b.get());
+  EXPECT_EQ(mk_select(cond, a, a).get(), a.get());
+  EXPECT_EQ(mk_select(cond, mk_bool(true), mk_bool(false)).get(), cond.get());
+}
+
+TEST(Expr, CollectReadsDeduplicates) {
+  auto array = make_array();
+  const ExprRef x = mk_zext(mk_read(array, 5), 32);
+  const ExprRef e = mk_add(mk_mul(x, x), mk_zext(mk_read(array, 6), 32));
+  std::vector<ReadSite> reads;
+  collect_reads(e, reads);
+  EXPECT_EQ(reads.size(), 2u);
+}
+
+// Property: evaluating a built expression equals computing the same
+// operation natively, across random byte assignments and operators.
+class ExprDifferential : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ExprDifferential, BinaryOpsMatchNativeSemantics) {
+  const unsigned width = GetParam();
+  auto array = make_array(8);
+  Rng rng(width * 7919);
+  const std::uint64_t mask = truncate_to_width(~0ull, width);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    Assignment assignment;
+    auto& bytes = assignment.mutable_bytes(array);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+
+    // a = zext(byte0, w) | (zext(byte1, w) << 8), b likewise from 2,3.
+    auto mk_val = [&](unsigned base) {
+      ExprRef v = mk_zext(mk_read(array, base), width);
+      if (width > 8)
+        v = mk_or(v, mk_shl(mk_zext(mk_read(array, base + 1), width),
+                            mk_const(8, width)));
+      return v;
+    };
+    const ExprRef ea = mk_val(0);
+    const ExprRef eb = mk_val(2);
+    const std::uint64_t a = evaluate(ea, assignment);
+    const std::uint64_t b = evaluate(eb, assignment);
+
+    EXPECT_EQ(evaluate(mk_add(ea, eb), assignment), (a + b) & mask);
+    EXPECT_EQ(evaluate(mk_sub(ea, eb), assignment), (a - b) & mask);
+    EXPECT_EQ(evaluate(mk_mul(ea, eb), assignment), (a * b) & mask);
+    EXPECT_EQ(evaluate(mk_and(ea, eb), assignment), a & b);
+    EXPECT_EQ(evaluate(mk_or(ea, eb), assignment), a | b);
+    EXPECT_EQ(evaluate(mk_xor(ea, eb), assignment), a ^ b);
+    EXPECT_EQ(evaluate(mk_udiv(ea, eb), assignment),
+              b == 0 ? 0 : a / b);
+    EXPECT_EQ(evaluate(mk_urem(ea, eb), assignment),
+              b == 0 ? 0 : a % b);
+    EXPECT_EQ(evaluate_bool(mk_ult(ea, eb), assignment), a < b);
+    EXPECT_EQ(evaluate_bool(mk_eq(ea, eb), assignment), a == b);
+    const std::int64_t sa = sign_extend(a, width);
+    const std::int64_t sb = sign_extend(b, width);
+    EXPECT_EQ(evaluate_bool(mk_slt(ea, eb), assignment), sa < sb);
+    EXPECT_EQ(evaluate_bool(mk_sle(ea, eb), assignment), sa <= sb);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ExprDifferential,
+                         ::testing::Values(8u, 16u, 24u, 32u, 64u));
+
+TEST(Expr, DagSizeCountsSharedNodesOnce) {
+  auto array = make_array();
+  const ExprRef x = mk_zext(mk_read(array, 0), 32);
+  const ExprRef e = mk_add(mk_mul(x, x), x);
+  // nodes: read, zext, mul, add = 4 (x shared).
+  EXPECT_EQ(expr_dag_size(e), 4u);
+}
+
+}  // namespace
+}  // namespace pbse

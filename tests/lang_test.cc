@@ -1,0 +1,362 @@
+// MiniC frontend: lexer, parser and codegen, validated by compiling
+// snippets and running them concretely, checking the out() stream.
+#include <gtest/gtest.h>
+
+#include "concolic/concolic_executor.h"
+#include "ir/verifier.h"
+#include "lang/codegen.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "solver/solver.h"
+#include "vm/executor.h"
+
+namespace pbse {
+namespace {
+
+/// Compiles and concretely runs `body` (as main's body) on `seed`,
+/// returning the out() values.
+std::vector<std::uint64_t> run_outputs(const std::string& source,
+                                       std::vector<std::uint8_t> seed = {0}) {
+  ir::Module module;
+  std::string error;
+  if (!minic::compile(source, module, error)) {
+    ADD_FAILURE() << "compile error: " << error;
+    return {};
+  }
+  module.finalize();
+  for (const auto& p : ir::verify(module)) ADD_FAILURE() << "verifier: " << p;
+  VClock clock;
+  Stats stats;
+  Solver solver(clock, stats);
+  vm::Executor executor(module, solver, clock, stats);
+  concolic::ConcolicOptions options;
+  options.record_trace = false;
+  const auto result = run_concolic(executor, "main", seed, options);
+  EXPECT_EQ(result.termination, vm::TerminationReason::kExit)
+      << "program must exit cleanly";
+  EXPECT_EQ(executor.bugs().size(), 0u) << "program must not trip checkers";
+  return executor.out_log();
+}
+
+std::string wrap(const std::string& body) {
+  return "u32 main(u8* file, u32 size) {\n" + body + "\nreturn 0;\n}\n";
+}
+
+std::string compile_error(const std::string& source) {
+  ir::Module module;
+  std::string error;
+  EXPECT_FALSE(minic::compile(source, module, error))
+      << "expected a compile error";
+  return error;
+}
+
+// --- Lexer -----------------------------------------------------------------
+
+TEST(Lexer, TokenizesOperatorsLongestFirst) {
+  std::vector<minic::Token> tokens;
+  std::string error;
+  ASSERT_TRUE(minic::lex("a <<= b << c <= d < e", tokens, error)) << error;
+  ASSERT_EQ(tokens.size(), 10u);  // 5 idents + 4 ops + eof
+  EXPECT_EQ(tokens[1].kind, minic::Tok::kShlAssign);
+  EXPECT_EQ(tokens[3].kind, minic::Tok::kShl);
+  EXPECT_EQ(tokens[5].kind, minic::Tok::kLe);
+  EXPECT_EQ(tokens[7].kind, minic::Tok::kLt);
+}
+
+TEST(Lexer, NumbersCharsAndEscapes) {
+  std::vector<minic::Token> tokens;
+  std::string error;
+  ASSERT_TRUE(minic::lex("0x2C 255 '\\n' '\\x41' 'z'", tokens, error)) << error;
+  EXPECT_EQ(tokens[0].number, 0x2Cu);
+  EXPECT_EQ(tokens[1].number, 255u);
+  EXPECT_EQ(tokens[2].number, static_cast<std::uint64_t>('\n'));
+  EXPECT_EQ(tokens[3].number, 0x41u);
+  EXPECT_EQ(tokens[4].number, static_cast<std::uint64_t>('z'));
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  std::vector<minic::Token> tokens;
+  std::string error;
+  ASSERT_TRUE(minic::lex("a // line\n /* block\nblock */ b", tokens, error));
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].line, 3u);
+}
+
+TEST(Lexer, ReportsErrors) {
+  std::vector<minic::Token> tokens;
+  std::string error;
+  EXPECT_FALSE(minic::lex("a $ b", tokens, error));
+  EXPECT_NE(error.find("unexpected character"), std::string::npos);
+  EXPECT_FALSE(minic::lex("\"unterminated", tokens, error));
+}
+
+// --- Parser ----------------------------------------------------------------
+
+TEST(Parser, RejectsSyntaxErrors) {
+  minic::Program program;
+  std::string error;
+  EXPECT_FALSE(minic::parse_program("u32 main( {", program, error));
+  EXPECT_FALSE(minic::parse_program("u32 f() { if }", program, error));
+  EXPECT_FALSE(minic::parse_program("u32 f() { return 1 }", program, error));
+  EXPECT_NE(error.find("line"), std::string::npos);
+}
+
+TEST(Parser, BuildsProgramStructure) {
+  minic::Program program;
+  std::string error;
+  ASSERT_TRUE(minic::parse_program(
+      "u8 g[4] = {1, 2, 3, 4};\n"
+      "u32 f(u32 x) { return x + 1; }\n"
+      "u32 main(u8* file, u32 size) { return f(0); }\n",
+      program, error))
+      << error;
+  ASSERT_EQ(program.globals.size(), 1u);
+  EXPECT_EQ(program.globals[0].array_size, 4u);
+  ASSERT_EQ(program.functions.size(), 2u);
+  EXPECT_EQ(program.functions[1].params.size(), 2u);
+}
+
+// --- Codegen semantics --------------------------------------------------------
+
+TEST(Codegen, ArithmeticAndPrecedence) {
+  const auto outs = run_outputs(wrap(R"(
+    out(2 + 3 * 4);
+    out((2 + 3) * 4);
+    out(20 / 3);
+    out(20 % 3);
+    out(1 << 4 | 2);
+    out(0xF0 >> 2);
+    out(7 & 3 ^ 1);
+  )"));
+  EXPECT_EQ(outs, (std::vector<std::uint64_t>{14, 20, 6, 2, 18, 60, 2}));
+}
+
+TEST(Codegen, SignedSemantics) {
+  const auto outs = run_outputs(wrap(R"(
+    i32 a = -7;
+    i32 b = 2;
+    out((u32)(a / b));
+    out((u32)(a % b));
+    out((u32)(a >> 1));
+    if (a < b) { out(1); } else { out(0); }
+    u32 ua = (u32)a;
+    if (ua < (u32)b) { out(1); } else { out(0); }
+  )"));
+  ASSERT_EQ(outs.size(), 5u);
+  EXPECT_EQ(outs[0], static_cast<std::uint64_t>(static_cast<std::uint32_t>(-3)));
+  EXPECT_EQ(outs[1], static_cast<std::uint64_t>(static_cast<std::uint32_t>(-1)));
+  EXPECT_EQ(outs[2], static_cast<std::uint64_t>(static_cast<std::uint32_t>(-4)));
+  EXPECT_EQ(outs[3], 1u);  // signed: -7 < 2
+  EXPECT_EQ(outs[4], 0u);  // unsigned: huge > 2
+}
+
+TEST(Codegen, NarrowTypesWrap) {
+  const auto outs = run_outputs(wrap(R"(
+    u8 x = 250;
+    x += 10;
+    out(x);
+    u16 y = 65535;
+    y += 2;
+    out(y);
+    i8 z = 127;
+    z += 1;
+    out((u32)(i32)z);
+  )"));
+  EXPECT_EQ(outs, (std::vector<std::uint64_t>{4, 1, 0xffffff80}));
+}
+
+TEST(Codegen, LoopsBreakContinue) {
+  const auto outs = run_outputs(wrap(R"(
+    u32 sum = 0;
+    for (u32 i = 0; i < 10; ++i) {
+      if (i == 3) { continue; }
+      if (i == 7) { break; }
+      sum += i;
+    }
+    out(sum);                          // 0+1+2+4+5+6 = 18
+    u32 n = 0;
+    while (true) {
+      n += 1;
+      if (n >= 5) { break; }
+    }
+    out(n);
+  )"));
+  EXPECT_EQ(outs, (std::vector<std::uint64_t>{18, 5}));
+}
+
+TEST(Codegen, ShortCircuitEvaluation) {
+  const auto outs = run_outputs(wrap(R"(
+    u32 calls = 0;
+    u32 zero = 0;
+    // RHS of && must not run when LHS is false; we can't call functions
+    // with side effects inline, so observe via division guarded by &&.
+    u32 x = 5;
+    if (zero != 0 && 10 / zero > 0) { calls = 99; }
+    out(calls);
+    if (x == 5 || 10 / zero > 0) { calls = 1; }
+    out(calls);
+  )"));
+  EXPECT_EQ(outs, (std::vector<std::uint64_t>{0, 1}));
+}
+
+TEST(Codegen, TernaryAndComparisonChains) {
+  const auto outs = run_outputs(wrap(R"(
+    u32 a = 3;
+    out(a > 2 ? 100 : 200);
+    out(a > 5 ? 100 : 200);
+    bool flag = a == 3;
+    out(flag ? 1 : 0);
+  )"));
+  EXPECT_EQ(outs, (std::vector<std::uint64_t>{100, 200, 1}));
+}
+
+TEST(Codegen, ArraysAndPointers) {
+  const auto outs = run_outputs(wrap(R"(
+    u8 buf[8] = { 10, 20, 30, 40 };
+    out(buf[2]);
+    u8* p = &buf[1];
+    out(*p);
+    p = p + 2;
+    out(*p);
+    *p = 99;
+    out(buf[3]);
+    p -= 1;
+    out(*p);
+    out(*(p++));
+    out(*p);
+  )"));
+  EXPECT_EQ(outs, (std::vector<std::uint64_t>{30, 20, 40, 99, 30, 30, 99}));
+}
+
+TEST(Codegen, WideElementArrays) {
+  const auto outs = run_outputs(wrap(R"(
+    u16 words[4] = { 0x1234, 0xBEEF };
+    out(words[0]);
+    out(words[1]);
+    words[2] = words[0] + 1;
+    out(words[2]);
+    u32 dwords[2];
+    dwords[0] = 0xCAFEBABE;
+    out(dwords[0]);
+  )"));
+  EXPECT_EQ(outs,
+            (std::vector<std::uint64_t>{0x1234, 0xBEEF, 0x1235, 0xCAFEBABE}));
+}
+
+TEST(Codegen, GlobalsAndFunctions) {
+  const auto outs = run_outputs(R"(
+    u32 counter;
+    u16 table[3] = { 5, 6, 7 };
+    u32 bump(u32 by) {
+      counter += by;
+      return counter;
+    }
+    u32 main(u8* file, u32 size) {
+      out(bump(2));
+      out(bump(3));
+      out(table[2]);
+      return 0;
+    }
+  )");
+  EXPECT_EQ(outs, (std::vector<std::uint64_t>{2, 5, 7}));
+}
+
+TEST(Codegen, RecursionWorks) {
+  const auto outs = run_outputs(R"(
+    u32 fib(u32 n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    u32 main(u8* file, u32 size) {
+      out(fib(10));
+      return 0;
+    }
+  )");
+  EXPECT_EQ(outs, (std::vector<std::uint64_t>{55}));
+}
+
+TEST(Codegen, IncDecSemantics) {
+  const auto outs = run_outputs(wrap(R"(
+    u32 i = 5;
+    out(i++);
+    out(i);
+    out(++i);
+    out(i--);
+    out(--i);
+  )"));
+  EXPECT_EQ(outs, (std::vector<std::uint64_t>{5, 6, 7, 7, 5}));
+}
+
+TEST(Codegen, StringLiteralsAreReadable) {
+  const auto outs = run_outputs(R"(
+    u32 strlen8(u8* s) {
+      u32 n = 0;
+      while (s[n] != 0) { n += 1; }
+      return n;
+    }
+    u32 main(u8* file, u32 size) {
+      u8* msg = "IHDR";
+      out(strlen8(msg));
+      out(msg[0]);
+      out(msg[3]);
+      return 0;
+    }
+  )");
+  EXPECT_EQ(outs, (std::vector<std::uint64_t>{4, 'I', 'R'}));
+}
+
+TEST(Codegen, ReadsInputBytes) {
+  const auto outs = run_outputs(
+      wrap("out(file[0]); out(file[1]); out((u32)file[0] + (u32)file[1]);"),
+      {40, 2});
+  EXPECT_EQ(outs, (std::vector<std::uint64_t>{40, 2, 42}));
+}
+
+// --- Codegen error reporting --------------------------------------------------
+
+TEST(CodegenErrors, UnknownVariableAndFunction) {
+  EXPECT_NE(compile_error("u32 main(u8* f, u32 s) { return nope; }")
+                .find("unknown variable"),
+            std::string::npos);
+  EXPECT_NE(compile_error("u32 main(u8* f, u32 s) { return nope(); }")
+                .find("unknown function"),
+            std::string::npos);
+}
+
+TEST(CodegenErrors, TypeViolations) {
+  EXPECT_NE(compile_error("u32 main(u8* f, u32 s) { u32 x = f; return 0; }")
+                .find("convert"),
+            std::string::npos);
+  EXPECT_NE(
+      compile_error("u32 main(u8* f, u32 s) { u8 a[2]; a = 0; return 0; }")
+          .find("assign"),
+      std::string::npos);
+  EXPECT_NE(compile_error("u32 main(u8* f, u32 s) { break; }")
+                .find("break outside"),
+            std::string::npos);
+}
+
+TEST(CodegenErrors, Redefinitions) {
+  EXPECT_NE(compile_error("u32 f() { return 0; }\nu32 f() { return 1; }\n"
+                          "u32 main(u8* x, u32 s) { return 0; }")
+                .find("redefinition"),
+            std::string::npos);
+  EXPECT_NE(
+      compile_error("u32 main(u8* f, u32 s) { u32 a; u32 a; return 0; }")
+          .find("redefinition"),
+      std::string::npos);
+}
+
+TEST(CodegenErrors, BuiltinsAreChecked) {
+  EXPECT_NE(compile_error("u32 main(u8* f, u32 s) { out(); return 0; }")
+                .find("out()"),
+            std::string::npos);
+  EXPECT_NE(
+      compile_error("u32 main(u8* f, u32 s) { checked_add(1); return 0; }")
+          .find("2 arguments"),
+      std::string::npos);
+}
+
+}  // namespace
+}  // namespace pbse

@@ -1,0 +1,161 @@
+// Phase analysis: k-means determinism and quality, trap-phase detection,
+// k selection, ordering, and the tick->phase mapping.
+#include <gtest/gtest.h>
+
+#include "phase/kmeans.h"
+#include "phase/phase_analysis.h"
+
+namespace pbse::phase {
+namespace {
+
+std::vector<std::vector<double>> blobs(int per_cluster, int clusters,
+                                       double spread, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> points;
+  for (int c = 0; c < clusters; ++c)
+    for (int i = 0; i < per_cluster; ++i)
+      points.push_back({c * 10.0 + spread * rng.uniform(),
+                        c * -5.0 + spread * rng.uniform()});
+  return points;
+}
+
+TEST(KMeans, SeparatesWellSeparatedBlobs) {
+  const auto points = blobs(20, 3, 0.5, 1);
+  Rng rng(2);
+  const auto result = kmeans(points, 3, rng);
+  ASSERT_EQ(result.centroids.size(), 3u);
+  // All points of one blob share a cluster.
+  for (int c = 0; c < 3; ++c)
+    for (int i = 1; i < 20; ++i)
+      EXPECT_EQ(result.assignment[c * 20 + i], result.assignment[c * 20]);
+  EXPECT_LT(result.inertia, 20.0);
+}
+
+TEST(KMeans, DeterministicUnderSameRng) {
+  const auto points = blobs(15, 4, 2.0, 3);
+  Rng rng_a(42), rng_b(42);
+  const auto a = kmeans(points, 4, rng_a);
+  const auto b = kmeans(points, 4, rng_b);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, CompactsEmptyClusters) {
+  // 3 identical points can't support 5 clusters.
+  std::vector<std::vector<double>> points(3, std::vector<double>{1.0, 2.0});
+  Rng rng(1);
+  const auto result = kmeans(points, 5, rng);
+  EXPECT_EQ(result.centroids.size(), 1u);
+  for (const auto a : result.assignment) EXPECT_EQ(a, 0u);
+}
+
+TEST(KMeans, ReportsWork) {
+  const auto points = blobs(10, 2, 1.0, 5);
+  Rng rng(1);
+  EXPECT_GT(kmeans(points, 2, rng).work, 0u);
+}
+
+concolic::BBV make_bbv(std::uint64_t start, std::uint64_t end,
+                       std::uint32_t dominant_bb, double coverage) {
+  concolic::BBV v;
+  v.start_ticks = start;
+  v.end_ticks = end;
+  v.counts[dominant_bb] = 90;
+  v.counts[dominant_bb + 1] = 10;
+  v.coverage = coverage;
+  return v;
+}
+
+/// Three temporal regimes: blocks 0-, 50-, 90- each dominating a span.
+/// Coverage is step-shaped (jumps at phase entry, flat inside) — the
+/// realistic profile: a phase discovers its blocks quickly, then repeats.
+std::vector<concolic::BBV> three_phase_trace() {
+  std::vector<concolic::BBV> bbvs;
+  std::uint64_t t = 0;
+  for (int i = 0; i < 20; ++i, t += 100)
+    bbvs.push_back(make_bbv(t, t + 100, 0, 0.10));
+  for (int i = 0; i < 30; ++i, t += 100)
+    bbvs.push_back(make_bbv(t, t + 100, 50, 0.30));
+  for (int i = 0; i < 25; ++i, t += 100)
+    bbvs.push_back(make_bbv(t, t + 100, 90, 0.50));
+  return bbvs;
+}
+
+TEST(PhaseAnalysis, FindsTemporalRegimesAsTrapPhases) {
+  const auto analysis = analyze_phases(three_phase_trace());
+  EXPECT_EQ(analysis.phases.size(), 3u);
+  EXPECT_EQ(analysis.num_trap_phases, 3u);
+  // Ordered by first-BBV time.
+  for (std::size_t i = 1; i < analysis.phases.size(); ++i)
+    EXPECT_LT(analysis.phases[i - 1].first_ticks,
+              analysis.phases[i].first_ticks);
+  // Contiguity: interval assignment is a block pattern AABBCC.
+  const auto& ip = analysis.interval_phase;
+  for (std::size_t i = 1; i < ip.size(); ++i)
+    EXPECT_LE(ip[i - 1], ip[i]) << "phases must be temporally contiguous";
+}
+
+TEST(PhaseAnalysis, TrapThresholdFiltersShortRuns) {
+  auto bbvs = three_phase_trace();
+  // A 2-interval blip of a fourth regime: too short to be a trap at 5%.
+  bbvs.insert(bbvs.begin() + 20, make_bbv(1900, 1950, 200, 0.2));
+  bbvs.insert(bbvs.begin() + 21, make_bbv(1950, 2000, 200, 0.2));
+  PhaseOptions options;
+  options.trap_run_fraction = 0.10;  // N ~ 8 intervals
+  const auto analysis = analyze_phases(bbvs, options);
+  std::uint32_t short_phase_traps = 0;
+  for (const auto& p : analysis.phases)
+    if (p.intervals.size() <= 2 && p.is_trap) ++short_phase_traps;
+  EXPECT_EQ(short_phase_traps, 0u);
+}
+
+TEST(PhaseAnalysis, CoverageElementSeparatesRepeatedCode) {
+  // Two temporally distant regimes executing the SAME blocks, with a
+  // different regime between them. BBV-only merges the twins into one
+  // phase; the coverage element splits them (the paper's Fig 4 mechanism).
+  std::vector<concolic::BBV> bbvs;
+  std::uint64_t t = 0;
+  for (int i = 0; i < 15; ++i, t += 100)
+    bbvs.push_back(make_bbv(t, t + 100, 0, 0.10));
+  for (int i = 0; i < 15; ++i, t += 100)
+    bbvs.push_back(make_bbv(t, t + 100, 50, 0.20));
+  for (int i = 0; i < 15; ++i, t += 100)
+    bbvs.push_back(make_bbv(t, t + 100, 0, 0.40));  // same code as phase 1
+
+  PhaseOptions without;
+  without.coverage_weight = 0.0;
+  PhaseOptions with;
+  with.coverage_weight = 4.0;
+  const auto a = analyze_phases(bbvs, without);
+  const auto b = analyze_phases(bbvs, with);
+  EXPECT_LT(a.num_trap_phases, b.num_trap_phases);
+  EXPECT_EQ(b.num_trap_phases, 3u);
+}
+
+TEST(PhaseAnalysis, PhaseOfTicksMapsIntoIntervals) {
+  const auto bbvs = three_phase_trace();
+  const auto analysis = analyze_phases(bbvs);
+  EXPECT_EQ(phase_of_ticks(analysis, bbvs, 50),
+            analysis.interval_phase.front());
+  EXPECT_EQ(phase_of_ticks(analysis, bbvs, 2100),
+            analysis.interval_phase[21]);
+  // Beyond the end falls into the last interval's phase.
+  EXPECT_EQ(phase_of_ticks(analysis, bbvs, 1'000'000),
+            analysis.interval_phase.back());
+}
+
+TEST(PhaseAnalysis, EmptyInputYieldsNoPhases) {
+  const auto analysis = analyze_phases({});
+  EXPECT_TRUE(analysis.phases.empty());
+  EXPECT_EQ(analysis.num_trap_phases, 0u);
+}
+
+TEST(PhaseAnalysis, KSelectionPrefersMoreTraps) {
+  const auto analysis = analyze_phases(three_phase_trace());
+  EXPECT_GE(analysis.chosen_k, 3u)
+      << "k=1/2 find fewer traps than k=3 here, so selection must not "
+         "settle below 3";
+}
+
+}  // namespace
+}  // namespace pbse::phase

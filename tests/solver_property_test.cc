@@ -1,0 +1,197 @@
+// Solver soundness properties, checked against exhaustive enumeration on
+// small domains: kSat answers must come with genuinely satisfying models,
+// kUnsat answers must have no solution at all.
+#include <gtest/gtest.h>
+
+#include "expr/evaluator.h"
+#include "solver/solver.h"
+#include "support/rng.h"
+
+namespace pbse {
+namespace {
+
+ArrayRef make_array() {
+  static int counter = 0;
+  return std::make_shared<Array>("p" + std::to_string(counter++), 4);
+}
+
+/// A random width-1 constraint over the two bytes of `array` (and
+/// constants), built from a small grammar.
+ExprRef random_constraint(const ArrayRef& array, Rng& rng) {
+  const ExprRef b0 = mk_zext(mk_read(array, 0), 16);
+  const ExprRef b1 = mk_zext(mk_read(array, 1), 16);
+  auto random_term = [&]() -> ExprRef {
+    switch (rng.below(6)) {
+      case 0: return b0;
+      case 1: return b1;
+      case 2: return mk_add(b0, b1);
+      case 3: return mk_mul(b0, mk_const(rng.below(7) + 1, 16));
+      case 4: return mk_xor(b0, b1);
+      default: return mk_or(b0, mk_shl(b1, mk_const(8, 16)));
+    }
+  };
+  const ExprRef lhs = random_term();
+  const ExprRef rhs = rng.below(2) == 0
+                          ? mk_const(rng.below(600), 16)
+                          : random_term();
+  switch (rng.below(4)) {
+    case 0: return mk_eq(lhs, rhs);
+    case 1: return mk_ult(lhs, rhs);
+    case 2: return mk_ule(lhs, rhs);
+    default: return mk_ne(lhs, rhs);
+  }
+}
+
+/// Ground truth by brute force over the 2-byte domain.
+bool exhaustively_satisfiable(const ArrayRef& array,
+                              const std::vector<ExprRef>& constraints) {
+  Assignment a;
+  auto& bytes = a.mutable_bytes(array);
+  for (unsigned v0 = 0; v0 < 256; ++v0) {
+    for (unsigned v1 = 0; v1 < 256; ++v1) {
+      bytes[0] = static_cast<std::uint8_t>(v0);
+      bytes[1] = static_cast<std::uint8_t>(v1);
+      bool all = true;
+      for (const auto& c : constraints) {
+        if (!evaluate_bool(c, a)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) return true;
+    }
+  }
+  return false;
+}
+
+class SolverSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Replicates the executor's usage contract: the path constraint set always
+// stays satisfiable, a current model satisfying it is maintained, and each
+// new branch condition is queried with that model as the hint. check_sat's
+// returned model only covers the independent slice, so — like the executor
+// — we overlay it on the current model.
+TEST_P(SolverSoundness, MatchesExhaustiveEnumeration) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    auto array = make_array();
+    VClock clock;
+    Stats stats;
+    Solver solver(clock, stats);
+
+    ConstraintSet cs;
+    std::vector<ExprRef> accepted;
+    auto current = std::make_shared<Assignment>();
+
+    const std::size_t n = 2 + rng.below(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      const ExprRef query = random_constraint(array, rng);
+
+      std::vector<ExprRef> with_query = accepted;
+      with_query.push_back(query);
+      const bool truth = exhaustively_satisfiable(array, with_query);
+
+      Assignment model(*current);  // overlay target, seeded from current
+      const SolverResult result = solver.check_sat(cs, query, &model, current);
+
+      if (result == SolverResult::kSat) {
+        EXPECT_TRUE(truth) << "solver claimed SAT on an UNSAT extension of a "
+                              "satisfiable path: "
+                           << query->to_string();
+        if (!truth) continue;
+        // Take the branch: the overlaid model must satisfy everything.
+        cs.add(query);
+        accepted.push_back(query);
+        current = std::make_shared<Assignment>(std::move(model));
+        for (const auto& c : accepted)
+          EXPECT_TRUE(evaluate_bool(c, *current))
+              << "overlaid model violates " << c->to_string();
+      } else if (result == SolverResult::kUnsat) {
+        EXPECT_FALSE(truth) << "solver claimed UNSAT on a SAT extension: "
+                            << query->to_string();
+      }
+      // kUnknown is always acceptable (budget exhaustion).
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverSoundness,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull, 55ull));
+
+TEST(SolverDeferredEquality, ChecksumBytesAreBackComputed) {
+  // Eq(sum-of-data, stored-assembly) where the stored bytes appear nowhere
+  // else: elimination must defer it and complete the model afterwards.
+  auto array = std::make_shared<Array>("ck", 16);
+  ExprRef sum = mk_const(0, 32);
+  for (int i = 0; i < 4; ++i)
+    sum = mk_add(sum, mk_zext(mk_read(array, i), 32));
+  ExprRef stored = mk_zext(mk_read(array, 8), 32);
+  for (int b = 1; b < 4; ++b)
+    stored = mk_or(stored, mk_shl(mk_zext(mk_read(array, 8 + b), 32),
+                                  mk_const(8 * b, 32)));
+  ConstraintSet cs;
+  cs.add(mk_eq(sum, stored));
+  cs.add(mk_eq(mk_read(array, 0), mk_const(200, 8)));
+
+  VClock clock;
+  Stats stats;
+  Solver solver(clock, stats);
+  Assignment model;
+  ASSERT_EQ(solver.check_sat(cs, mk_eq(mk_read(array, 1), mk_const(250, 8)),
+                             &model),
+            SolverResult::kSat);
+  EXPECT_GE(stats.get("solver.deferred_eqs"), 1u);
+  EXPECT_EQ(evaluate(sum, model), evaluate(stored, model))
+      << "checksum must hold after back-computation";
+  EXPECT_EQ(model.byte(array.get(), 0), 200);
+  EXPECT_EQ(model.byte(array.get(), 1), 250);
+}
+
+TEST(SolverDeferredEquality, NegatedChecksumPicksDifferentValue) {
+  auto array = std::make_shared<Array>("ck2", 16);
+  const ExprRef data = mk_zext(mk_read(array, 0), 32);
+  ExprRef stored = mk_zext(mk_read(array, 8), 32);
+  for (int b = 1; b < 4; ++b)
+    stored = mk_or(stored, mk_shl(mk_zext(mk_read(array, 8 + b), 32),
+                                  mk_const(8 * b, 32)));
+  ConstraintSet cs;
+  cs.add(mk_ne(data, stored));  // "crc mismatch" path constraint
+
+  VClock clock;
+  Stats stats;
+  Solver solver(clock, stats);
+  Assignment model;
+  ASSERT_EQ(solver.check_sat(cs, mk_eq(mk_read(array, 0), mk_const(7, 8)),
+                             &model),
+            SolverResult::kSat);
+  EXPECT_NE(evaluate(data, model), evaluate(stored, model));
+}
+
+TEST(SolverDeferredEquality, SharedBytesAreNotDeferred) {
+  // The "stored" bytes also appear in another constraint: deferring them
+  // would be unsound, so the solver must keep the equality in the search.
+  auto array = std::make_shared<Array>("ck3", 16);
+  const ExprRef data =
+      mk_or(mk_zext(mk_read(array, 0), 16),
+            mk_shl(mk_zext(mk_read(array, 1), 16), mk_const(8, 16)));
+  const ExprRef stored =
+      mk_or(mk_zext(mk_read(array, 8), 16),
+            mk_shl(mk_zext(mk_read(array, 9), 16), mk_const(8, 16)));
+  ConstraintSet cs;
+  cs.add(mk_eq(data, stored));
+  cs.add(mk_ult(mk_const(0x1234, 16), stored));  // second use of the bytes
+
+  VClock clock;
+  Stats stats;
+  Solver solver(clock, stats);
+  Assignment model;
+  const auto result =
+      solver.check_sat(cs, mk_ule(data, mk_const(0xFFFE, 16)), &model);
+  ASSERT_EQ(result, SolverResult::kSat);
+  EXPECT_EQ(stats.get("solver.deferred_eqs"), 0u);
+  EXPECT_EQ(evaluate(data, model), evaluate(stored, model));
+  EXPECT_GT(evaluate(stored, model), 0x1234u);
+}
+
+}  // namespace
+}  // namespace pbse

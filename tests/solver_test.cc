@@ -1,0 +1,349 @@
+// Solver subsystem: constraint sets, independence slicing, domain
+// propagation (pin_equality, interval arithmetic, prune_ule), the
+// backtracking search, the facade's caches and budgets.
+#include <gtest/gtest.h>
+
+#include "solver/constraint_set.h"
+#include "solver/independence.h"
+#include "solver/interval.h"
+#include "solver/solver.h"
+
+namespace pbse {
+namespace {
+
+ArrayRef make_array(std::uint32_t size = 64) {
+  static int counter = 0;
+  return std::make_shared<Array>("s" + std::to_string(counter++), size);
+}
+
+ExprRef u16_at(const ArrayRef& array, std::uint32_t i, unsigned width = 32) {
+  return mk_or(mk_zext(mk_read(array, i), width),
+               mk_shl(mk_zext(mk_read(array, i + 1), width),
+                      mk_const(8, width)));
+}
+
+ExprRef u32_at(const ArrayRef& array, std::uint32_t i) {
+  ExprRef v = mk_zext(mk_read(array, i), 32);
+  for (unsigned b = 1; b < 4; ++b)
+    v = mk_or(v, mk_shl(mk_zext(mk_read(array, i + b), 32),
+                        mk_const(8 * b, 32)));
+  return v;
+}
+
+struct SolverFixture {
+  VClock clock;
+  Stats stats;
+  Solver solver{clock, stats};
+};
+
+// --- ConstraintSet ----------------------------------------------------------
+
+TEST(ConstraintSet, DeduplicatesAndDropsTrue) {
+  auto array = make_array();
+  ConstraintSet cs;
+  const ExprRef c = mk_eq(mk_read(array, 0), mk_const(1, 8));
+  EXPECT_TRUE(cs.add(c));
+  EXPECT_TRUE(cs.add(c));
+  EXPECT_TRUE(cs.add(mk_bool(true)));
+  EXPECT_EQ(cs.size(), 1u);
+  EXPECT_FALSE(cs.add(mk_bool(false)));
+  EXPECT_TRUE(cs.contains(c));
+}
+
+TEST(ConstraintSet, HashIsOrderInsensitive) {
+  auto array = make_array();
+  const ExprRef a = mk_eq(mk_read(array, 0), mk_const(1, 8));
+  const ExprRef b = mk_eq(mk_read(array, 1), mk_const(2, 8));
+  ConstraintSet ab, ba;
+  ab.add(a);
+  ab.add(b);
+  ba.add(b);
+  ba.add(a);
+  EXPECT_EQ(ab.hash(), ba.hash());
+}
+
+// --- Independence slicing ---------------------------------------------------
+
+TEST(Independence, KeepsOnlyConnectedConstraints) {
+  auto array = make_array();
+  ConstraintSet cs;
+  cs.add(mk_eq(mk_read(array, 0), mk_const(1, 8)));     // byte 0
+  cs.add(mk_eq(mk_read(array, 10), mk_const(2, 8)));    // byte 10
+  cs.add(mk_ult(mk_read(array, 0), mk_read(array, 1))); // bytes 0,1
+  const auto slice =
+      independent_slice(cs, mk_eq(mk_read(array, 1), mk_const(9, 8)));
+  // Byte 1 connects to {0,1} which connects to {0}; byte 10 is independent.
+  EXPECT_EQ(slice.size(), 2u);
+}
+
+TEST(Independence, TransitiveClosureThroughSharedBytes) {
+  auto array = make_array();
+  ConstraintSet cs;
+  cs.add(mk_ult(mk_read(array, 0), mk_read(array, 1)));
+  cs.add(mk_ult(mk_read(array, 1), mk_read(array, 2)));
+  cs.add(mk_ult(mk_read(array, 2), mk_read(array, 3)));
+  const auto slice =
+      independent_slice(cs, mk_eq(mk_read(array, 3), mk_const(9, 8)));
+  EXPECT_EQ(slice.size(), 3u) << "chain must be pulled in transitively";
+}
+
+// --- pin_equality -------------------------------------------------------------
+
+TEST(PinEquality, PinsAssembledIntegers) {
+  auto array = make_array();
+  DomainMap domains;
+  bool unsat = false;
+  ASSERT_TRUE(pin_equality(u32_at(array, 4), 0xAABBCCDD, domains, unsat));
+  EXPECT_FALSE(unsat);
+  EXPECT_EQ(domains.find(array.get(), 4)->values(),
+            std::vector<std::uint8_t>{0xDD});
+  EXPECT_EQ(domains.find(array.get(), 7)->values(),
+            std::vector<std::uint8_t>{0xAA});
+}
+
+TEST(PinEquality, PeelsConstantAddend) {
+  auto array = make_array();
+  DomainMap domains;
+  bool unsat = false;
+  const ExprRef e = mk_add(u16_at(array, 0), mk_const(10, 32));
+  ASSERT_TRUE(pin_equality(e, 0x1234 + 10, domains, unsat));
+  EXPECT_FALSE(unsat);
+  EXPECT_EQ(domains.find(array.get(), 0)->values(),
+            std::vector<std::uint8_t>{0x34});
+  EXPECT_EQ(domains.find(array.get(), 1)->values(),
+            std::vector<std::uint8_t>{0x12});
+}
+
+TEST(PinEquality, PowerOfTwoMultiplier) {
+  auto array = make_array();
+  DomainMap domains;
+  bool unsat = false;
+  // (zext16(u16) * 16) == 0x120 -> u16 == 0x12.
+  const ExprRef e =
+      mk_mul(mk_zext(u16_at(array, 0, 16), 32), mk_const(16, 32));
+  ASSERT_TRUE(pin_equality(e, 0x120, domains, unsat));
+  EXPECT_FALSE(unsat);
+  EXPECT_EQ(domains.find(array.get(), 0)->values(),
+            std::vector<std::uint8_t>{0x12});
+}
+
+TEST(PinEquality, DetectsMisalignedMultiplier) {
+  auto array = make_array();
+  DomainMap domains;
+  bool unsat = false;
+  const ExprRef e =
+      mk_mul(mk_zext(u16_at(array, 0, 16), 32), mk_const(16, 32));
+  ASSERT_TRUE(pin_equality(e, 0x121, domains, unsat));  // not divisible by 16
+  EXPECT_TRUE(unsat);
+}
+
+TEST(PinEquality, DetectsOutOfRangeZext) {
+  auto array = make_array();
+  DomainMap domains;
+  bool unsat = false;
+  const ExprRef e = mk_zext(mk_read(array, 0), 32);
+  ASSERT_TRUE(pin_equality(e, 0x100, domains, unsat));
+  EXPECT_TRUE(unsat) << "a zext of one byte can never be 0x100";
+}
+
+TEST(PinEquality, UncoveredBitsMakeUnsat) {
+  auto array = make_array();
+  DomainMap domains;
+  bool unsat = false;
+  // Assembly covers bits 0..15 only; value with bit 20 set is impossible.
+  ASSERT_TRUE(pin_equality(u16_at(array, 0), 0x100000, domains, unsat));
+  EXPECT_TRUE(unsat);
+}
+
+// --- Interval arithmetic -------------------------------------------------------
+
+TEST(Interval, RangesOfAssembliesAndArithmetic) {
+  auto array = make_array();
+  DomainMap domains;
+  const auto r16 = interval_of(u16_at(array, 0), domains);
+  EXPECT_EQ(r16.lo, 0u);
+  EXPECT_EQ(r16.hi, 0xFF00u + 0xFFu);
+  const auto rmul =
+      interval_of(mk_mul(u16_at(array, 0), mk_const(12, 32)), domains);
+  EXPECT_EQ(rmul.hi, 0xFFFFull * 12);
+  // Pinned domain narrows the range.
+  domains.domain(array.get(), 1).pin(0);
+  const auto rpinned = interval_of(u16_at(array, 0), domains);
+  EXPECT_EQ(rpinned.hi, 255u);
+}
+
+TEST(Interval, DecidesComparisons) {
+  auto array = make_array();
+  DomainMap domains;
+  // u16 + 200 > 100 always (min is 200).
+  const ExprRef always =
+      mk_ult(mk_const(100, 32), mk_add(u16_at(array, 0), mk_const(200, 32)));
+  EXPECT_EQ(interval_of(always, domains).lo, 1u);
+  // u16 > 0x10000 never.
+  const ExprRef never = mk_ult(mk_const(0x10000, 32), u16_at(array, 0));
+  EXPECT_EQ(interval_of(never, domains).hi, 0u);
+}
+
+TEST(Interval, PruneUleAssembly) {
+  auto array = make_array();
+  DomainMap domains;
+  prune_ule_assembly(u16_at(array, 0), 0x0234, domains);
+  // High lane byte can be at most 2.
+  EXPECT_EQ(domains.find(array.get(), 1)->size(), 3u);
+  EXPECT_EQ(domains.find(array.get(), 0), nullptr)
+      << "low lane admits all values (0x234 >> 0 > 255) and stays untouched";
+}
+
+// --- Full solver -----------------------------------------------------------------
+
+TEST(Solver, MagicBytesViaPropagation) {
+  SolverFixture fx;
+  auto array = make_array();
+  ConstraintSet cs;
+  cs.add(mk_eq(mk_read(array, 0), mk_const(0x7f, 8)));
+  Assignment model;
+  EXPECT_EQ(fx.solver.check_sat(cs, mk_eq(mk_read(array, 1), mk_const('M', 8)),
+                                &model),
+            SolverResult::kSat);
+  EXPECT_EQ(model.byte(array.get(), 1), 'M');
+  // Byte 0's constraint is INDEPENDENT of the query and is sliced away, so
+  // the model is only filled for the connected bytes (a caller's model is
+  // seeded from the state's existing model, which satisfies the rest).
+  EXPECT_EQ(model.byte(array.get(), 0), 0);
+  // A query connected to both bytes pulls the magic constraint in.
+  Assignment full;
+  EXPECT_EQ(fx.solver.check_sat(
+                cs, mk_ule(mk_read(array, 0), mk_read(array, 1)), &full),
+            SolverResult::kSat);
+  EXPECT_EQ(full.byte(array.get(), 0), 0x7f);
+  EXPECT_GE(full.byte(array.get(), 1), 0x7f);
+}
+
+TEST(Solver, ConflictingEqualitiesAreUnsat) {
+  SolverFixture fx;
+  auto array = make_array();
+  ConstraintSet cs;
+  cs.add(mk_eq(mk_read(array, 0), mk_const(1, 8)));
+  EXPECT_EQ(
+      fx.solver.check_sat(cs, mk_eq(mk_read(array, 0), mk_const(2, 8))),
+      SolverResult::kUnsat);
+}
+
+TEST(Solver, LoopBoundQueriesAreFast) {
+  SolverFixture fx;
+  auto array = make_array();
+  ConstraintSet cs;
+  const ExprRef count = u16_at(array, 0);
+  cs.add(mk_ult(mk_const(0, 32), count));  // count != 0
+  // phoff + count * 12 <= 100 with phoff a u32 assembly.
+  const ExprRef bound = mk_ule(
+      mk_add(u32_at(array, 4), mk_mul(count, mk_const(12, 32))),
+      mk_const(100, 32));
+  Assignment model;
+  EXPECT_EQ(fx.solver.check_sat(cs, bound, &model), SolverResult::kSat);
+  // Verify the model actually satisfies everything.
+  EXPECT_TRUE(evaluate_bool(bound, model));
+  EXPECT_LT(fx.clock.now(), 50'000u) << "should not burn the search budget";
+}
+
+TEST(Solver, OverflowQueriesSolvedByProbes) {
+  SolverFixture fx;
+  auto array = make_array();
+  ConstraintSet cs;
+  const ExprRef w = u32_at(array, 0);
+  const ExprRef h = u32_at(array, 4);
+  // Can w * h overflow 32 bits? (widened comparison)
+  const ExprRef wide =
+      mk_mul(mk_zext(w, 64), mk_zext(h, 64));
+  const ExprRef overflow = mk_ult(mk_const(0xffffffffull, 64), wide);
+  Assignment model;
+  EXPECT_EQ(fx.solver.check_sat(cs, overflow, &model), SolverResult::kSat);
+  EXPECT_TRUE(evaluate_bool(overflow, model));
+}
+
+TEST(Solver, HintFastPathUsesNoSearch) {
+  SolverFixture fx;
+  auto array = make_array(8);
+  ConstraintSet cs;
+  cs.add(mk_eq(mk_read(array, 0), mk_const(42, 8)));
+  auto hint = std::make_shared<Assignment>();
+  hint->mutable_bytes(array)[0] = 42;
+  const auto before = fx.stats.get("solver.search_sat");
+  // The query must be connected to the constraints (a `true` query slices
+  // everything away); ask about byte 0 directly.
+  EXPECT_EQ(fx.solver.check_sat(cs, mk_ult(mk_read(array, 0), mk_const(99, 8)),
+                                nullptr, hint),
+            SolverResult::kSat);
+  EXPECT_EQ(fx.stats.get("solver.hint_hits"), 1u);
+  EXPECT_EQ(fx.stats.get("solver.search_sat"), before);
+}
+
+TEST(Solver, CacheHitsOnRepeatedQueries) {
+  SolverFixture fx;
+  auto array = make_array();
+  ConstraintSet cs;
+  cs.add(mk_ult(mk_read(array, 0), mk_read(array, 1)));
+  const ExprRef q = mk_eq(mk_read(array, 1), mk_const(0, 8));  // UNSAT
+  EXPECT_EQ(fx.solver.check_sat(cs, q), SolverResult::kUnsat);
+  const auto hits_before = fx.stats.get("solver.cache_hits");
+  EXPECT_EQ(fx.solver.check_sat(cs, q), SolverResult::kUnsat);
+  EXPECT_EQ(fx.stats.get("solver.cache_hits"), hits_before + 1);
+}
+
+TEST(Solver, SolveAllValidatesWholeSet) {
+  SolverFixture fx;
+  auto array = make_array();
+  ConstraintSet cs;
+  cs.add(mk_eq(mk_read(array, 0), mk_const(1, 8)));
+  cs.add(mk_eq(mk_read(array, 5), mk_const(2, 8)));
+  Assignment model;
+  EXPECT_EQ(fx.solver.solve_all(cs, &model), SolverResult::kSat);
+  EXPECT_EQ(model.byte(array.get(), 0), 1);
+  EXPECT_EQ(model.byte(array.get(), 5), 2);
+}
+
+TEST(Solver, GetValueRespectsConstraints) {
+  SolverFixture fx;
+  auto array = make_array();
+  ConstraintSet cs;
+  cs.add(mk_eq(mk_read(array, 0), mk_const(77, 8)));
+  const auto v = fx.solver.get_value(cs, mk_zext(mk_read(array, 0), 32));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 77u);
+}
+
+TEST(Solver, ChargesVirtualTime) {
+  SolverFixture fx;
+  auto array = make_array();
+  ConstraintSet cs;
+  for (int i = 0; i < 8; ++i)
+    cs.add(mk_ult(mk_read(array, i), mk_read(array, i + 1)));
+  const auto t0 = fx.clock.now();
+  fx.solver.check_sat(cs, mk_eq(mk_read(array, 8), mk_const(200, 8)));
+  EXPECT_GT(fx.clock.now(), t0) << "solver work must consume virtual time";
+}
+
+// Property sweep: equalities over assembled integers of every width are
+// solved exactly and the model round-trips.
+class SolverRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverRoundTrip, AssembledEqualityModels) {
+  SolverFixture fx;
+  auto array = make_array();
+  const std::uint64_t target = GetParam();
+  ConstraintSet cs;
+  const ExprRef value = u32_at(array, 0);
+  Assignment model;
+  ASSERT_EQ(fx.solver.check_sat(
+                cs, mk_eq(value, mk_const(target & 0xffffffff, 32)), &model),
+            SolverResult::kSat);
+  EXPECT_EQ(evaluate(value, model), target & 0xffffffff);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, SolverRoundTrip,
+                         ::testing::Values(0ull, 1ull, 0xffull, 0x1234ull,
+                                           0xdeadbeefull, 0xffffffffull,
+                                           0x80000000ull, 0x00ff00ffull));
+
+}  // namespace
+}  // namespace pbse

@@ -1,0 +1,288 @@
+// VM: memory model (COW, bounds), every bug checker, forking semantics,
+// the model invariant, and termination bookkeeping.
+#include <gtest/gtest.h>
+
+#include "concolic/concolic_executor.h"
+#include "ir/verifier.h"
+#include "lang/codegen.h"
+#include "solver/solver.h"
+#include "vm/executor.h"
+#include "vm/memory.h"
+
+namespace pbse {
+namespace {
+
+ir::Module compile(const std::string& source) {
+  ir::Module module;
+  std::string error;
+  if (!minic::compile(source, module, error))
+    ADD_FAILURE() << "compile error: " << error;
+  module.finalize();
+  for (const auto& p : ir::verify(module)) ADD_FAILURE() << p;
+  return module;
+}
+
+struct Harness {
+  explicit Harness(ir::Module module_in, vm::ExecutorOptions options = {})
+      : module(std::move(module_in)),
+        executor(module, solver, clock, stats, options) {}
+  ir::Module module;  // must outlive the executor, which references it
+  VClock clock;
+  Stats stats;
+  Solver solver{clock, stats};
+  vm::Executor executor;
+
+  /// Runs symbolically from an all-zero / `seed` model until every state
+  /// terminates or `max_steps` is hit. Returns number of states explored.
+  std::size_t run_all(const std::string& entry, std::uint32_t input_size,
+                      std::uint64_t max_steps = 400'000) {
+    auto input = std::make_shared<Array>("file", input_size);
+    std::vector<std::unique_ptr<vm::ExecutionState>> pending;
+    pending.push_back(executor.make_initial_state(entry, input, {}));
+    std::size_t explored = 0;
+    std::uint64_t steps = 0;
+    while (!pending.empty() && steps < max_steps) {
+      auto state = std::move(pending.back());
+      pending.pop_back();
+      ++explored;
+      while (!state->done() && steps < max_steps) {
+        executor.step(*state, pending);
+        ++steps;
+      }
+    }
+    return explored;
+  }
+};
+
+// --- Memory model -------------------------------------------------------------
+
+TEST(Memory, CopyOnWriteSharesUntilMutation) {
+  vm::Memory a;
+  const std::uint32_t id = a.add(vm::MemObject::make(4, "obj"));
+  vm::Memory b = a;  // shallow copy
+  EXPECT_EQ(a.find(id), b.find(id));
+  b.ensure_unique(id).bytes[0] = mk_const(7, 8);
+  EXPECT_NE(a.find(id), b.find(id));
+  EXPECT_EQ(a.find(id)->bytes[0]->constant_value(), 0u);
+  EXPECT_EQ(b.find(id)->bytes[0]->constant_value(), 7u);
+}
+
+TEST(Memory, ConcreteInitZeroPads) {
+  auto obj = vm::MemObject::make_concrete(8, {1, 2, 3}, "g", true);
+  EXPECT_EQ(obj->bytes[2]->constant_value(), 3u);
+  EXPECT_EQ(obj->bytes[7]->constant_value(), 0u);
+}
+
+// --- Bug checkers ---------------------------------------------------------------
+
+TEST(BugCheckers, DivisionByZero) {
+  Harness h(compile(R"(
+    u32 main(u8* f, u32 size) {
+      u32 d = (u32)f[0];
+      out(100 / d);
+      return 0;
+    })"));
+  h.run_all("main", 4);
+  ASSERT_EQ(h.executor.bugs().size(), 1u);
+  EXPECT_EQ(h.executor.bugs()[0].kind, vm::BugKind::kDivByZero);
+  EXPECT_EQ(h.executor.bugs()[0].input[0], 0u)
+      << "witness must make the divisor zero";
+}
+
+TEST(BugCheckers, OutOfBoundsWrite) {
+  Harness h(compile(R"(
+    u8 buf[4];
+    u32 main(u8* f, u32 size) {
+      buf[f[0]] = 1;
+      return 0;
+    })"));
+  h.run_all("main", 4);
+  ASSERT_GE(h.executor.bugs().size(), 1u);
+  EXPECT_EQ(h.executor.bugs()[0].kind, vm::BugKind::kOutOfBoundsWrite);
+  EXPECT_GE(h.executor.bugs()[0].input[0], 4u);
+}
+
+TEST(BugCheckers, NullDeref) {
+  Harness h(compile(R"(
+    u8 buf[4];
+    u8* pick(u32 which) {
+      if (which == 7) { return &buf[0]; }
+      return 0;
+    }
+    u32 main(u8* f, u32 size) {
+      u8* p = pick((u32)f[0]);
+      return (u32)*p;
+    })"));
+  h.run_all("main", 4);
+  bool found = false;
+  for (const auto& bug : h.executor.bugs())
+    found = found || bug.kind == vm::BugKind::kNullDeref;
+  EXPECT_TRUE(found);
+}
+
+TEST(BugCheckers, CheckedAddOverflow) {
+  Harness h(compile(R"(
+    u32 main(u8* f, u32 size) {
+      u32 a = (u32)f[0] << 24;
+      u32 b = (u32)f[1] << 24;
+      out(checked_add(a, b));
+      return 0;
+    })"));
+  h.run_all("main", 4);
+  bool found = false;
+  for (const auto& bug : h.executor.bugs())
+    found = found || bug.kind == vm::BugKind::kIntegerOverflow;
+  EXPECT_TRUE(found);
+}
+
+TEST(BugCheckers, AssertFailure) {
+  Harness h(compile(R"(
+    u32 main(u8* f, u32 size) {
+      check(f[0] != 13);
+      return 0;
+    })"));
+  h.run_all("main", 4);
+  ASSERT_EQ(h.executor.bugs().size(), 1u);
+  EXPECT_EQ(h.executor.bugs()[0].kind, vm::BugKind::kAssertFail);
+  EXPECT_EQ(h.executor.bugs()[0].input[0], 13u);
+}
+
+TEST(BugCheckers, UseAfterReturnWhenEnabled) {
+  // Dangling pointer: callee returns the address of its own local.
+  const char* source = R"(
+    u8* escape() {
+      u8 local[4];
+      local[0] = 9;
+      return &local[0];
+    }
+    u32 main(u8* f, u32 size) {
+      u8* p = escape();
+      return (u32)*p;
+    })";
+  vm::ExecutorOptions options;
+  options.detect_use_after_return = true;
+  Harness strict(compile(source), options);
+  strict.run_all("main", 4);
+  ASSERT_GE(strict.executor.bugs().size(), 1u);
+  EXPECT_EQ(strict.executor.bugs()[0].kind, vm::BugKind::kUseAfterReturn);
+
+  Harness lax(compile(source));  // default: objects erased on return
+  lax.run_all("main", 4);
+  ASSERT_GE(lax.executor.bugs().size(), 1u);
+  EXPECT_EQ(lax.executor.bugs()[0].kind, vm::BugKind::kUseAfterReturn);
+}
+
+TEST(BugCheckers, BugSitesAreDeduplicated) {
+  Harness h(compile(R"(
+    u8 buf[2];
+    u32 main(u8* f, u32 size) {
+      for (u32 i = 0; i < 3; ++i) {
+        buf[f[i]] = 1;      // same site, many triggering paths
+      }
+      return 0;
+    })"));
+  h.run_all("main", 4);
+  EXPECT_EQ(h.executor.num_bug_sites(), 1u);
+}
+
+// --- Forking & models -----------------------------------------------------------
+
+TEST(Forking, BothSidesOfFeasibleBranchExplored) {
+  Harness h(compile(R"(
+    u32 main(u8* f, u32 size) {
+      if (f[0] == 'A') { out(1); } else { out(2); }
+      return 0;
+    })"));
+  const std::size_t explored = h.run_all("main", 4);
+  EXPECT_EQ(explored, 2u);
+  EXPECT_EQ(h.executor.test_cases().size(), 2u);
+}
+
+TEST(Forking, ModelsSatisfyTheirPathConstraints) {
+  Harness h(compile(R"(
+    u32 main(u8* f, u32 size) {
+      u32 v = (u32)f[0] | ((u32)f[1] << 8);
+      if (v == 0xBEEF) { out(1); } else { out(2); }
+      if (f[2] > 100) { out(3); }
+      return 0;
+    })"));
+  h.run_all("main", 4);
+  // Each generated test case replays concretely to a clean exit.
+  ir::Module module = compile(R"(
+    u32 main(u8* f, u32 size) {
+      u32 v = (u32)f[0] | ((u32)f[1] << 8);
+      if (v == 0xBEEF) { out(1); } else { out(2); }
+      if (f[2] > 100) { out(3); }
+      return 0;
+    })");
+  bool beef_seen = false;
+  for (const auto& tc : h.executor.test_cases()) {
+    const std::uint32_t v = tc.input[0] | (tc.input[1] << 8);
+    beef_seen = beef_seen || v == 0xBEEF;
+  }
+  EXPECT_TRUE(beef_seen) << "some test case must take the magic branch";
+}
+
+TEST(Forking, InfeasibleBranchesDoNotFork) {
+  Harness h(compile(R"(
+    u32 main(u8* f, u32 size) {
+      u32 x = (u32)f[0];
+      if (x > 10) {
+        if (x <= 10) { out(0xDEAD); }   // contradiction: never explored
+        out(1);
+      }
+      return 0;
+    })"));
+  const std::size_t explored = h.run_all("main", 4);
+  EXPECT_EQ(explored, 2u) << "only the two consistent paths exist";
+}
+
+// --- Termination bookkeeping ------------------------------------------------------
+
+TEST(Termination, RecursionLimit) {
+  vm::ExecutorOptions options;
+  options.max_call_depth = 16;
+  Harness h(compile(R"(
+    u32 spin(u32 n) { return spin(n + 1); }
+    u32 main(u8* f, u32 size) { return spin(0); }
+  )"), options);
+  h.run_all("main", 4);
+  EXPECT_GE(h.stats.get("executor.recursion_limit"), 1u);
+}
+
+TEST(Termination, StopIntrinsicExitsCleanly) {
+  Harness h(compile(R"(
+    u32 main(u8* f, u32 size) {
+      out(1);
+      stop();
+      out(2);   // unreachable
+      return 0;
+    })"));
+  h.run_all("main", 4);
+  EXPECT_EQ(h.executor.out_log(), (std::vector<std::uint64_t>{1}));
+  ASSERT_EQ(h.executor.test_cases().size(), 1u);
+  EXPECT_EQ(h.executor.test_cases()[0].reason, "stop");
+}
+
+// --- Coverage accounting -----------------------------------------------------------
+
+TEST(Coverage, LogIsMonotonicInTime) {
+  Harness h(compile(R"(
+    u32 main(u8* f, u32 size) {
+      u32 acc = 0;
+      for (u32 i = 0; i < 4; ++i) {
+        if (f[i] > 10) { acc += 2; } else { acc += 1; }
+      }
+      out(acc);
+      return 0;
+    })"));
+  h.run_all("main", 8);
+  const auto& log = h.executor.coverage_log();
+  ASSERT_FALSE(log.empty());
+  for (std::size_t i = 1; i < log.size(); ++i)
+    EXPECT_LE(log[i - 1].ticks, log[i].ticks);
+  EXPECT_EQ(log.size(), h.executor.num_covered());
+}
+
+}  // namespace
+}  // namespace pbse
