@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pbse.dir/ablation_pbse.cc.o"
+  "CMakeFiles/ablation_pbse.dir/ablation_pbse.cc.o.d"
+  "ablation_pbse"
+  "ablation_pbse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pbse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

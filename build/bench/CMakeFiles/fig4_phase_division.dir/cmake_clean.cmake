@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_phase_division.dir/fig4_phase_division.cc.o"
+  "CMakeFiles/fig4_phase_division.dir/fig4_phase_division.cc.o.d"
+  "fig4_phase_division"
+  "fig4_phase_division.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_phase_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_buggy_seed.dir/fig5_buggy_seed.cc.o"
+  "CMakeFiles/fig5_buggy_seed.dir/fig5_buggy_seed.cc.o.d"
+  "fig5_buggy_seed"
+  "fig5_buggy_seed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_buggy_seed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

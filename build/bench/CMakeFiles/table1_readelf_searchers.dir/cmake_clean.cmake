@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_readelf_searchers.dir/table1_readelf_searchers.cc.o"
+  "CMakeFiles/table1_readelf_searchers.dir/table1_readelf_searchers.cc.o.d"
+  "table1_readelf_searchers"
+  "table1_readelf_searchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_readelf_searchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_png_cves.dir/find_png_cves.cpp.o"
+  "CMakeFiles/find_png_cves.dir/find_png_cves.cpp.o.d"
+  "find_png_cves"
+  "find_png_cves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_png_cves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/searcher_shootout.dir/searcher_shootout.cpp.o"
+  "CMakeFiles/searcher_shootout.dir/searcher_shootout.cpp.o.d"
+  "searcher_shootout"
+  "searcher_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/searcher_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("lang")
+subdirs("expr")
+subdirs("solver")
+subdirs("vm")
+subdirs("searchers")
+subdirs("concolic")
+subdirs("phase")
+subdirs("core")
+subdirs("targets")
+subdirs("tools")

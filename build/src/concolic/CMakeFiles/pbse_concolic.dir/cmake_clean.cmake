@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbse_concolic.dir/bbv.cc.o"
+  "CMakeFiles/pbse_concolic.dir/bbv.cc.o.d"
+  "CMakeFiles/pbse_concolic.dir/concolic_executor.cc.o"
+  "CMakeFiles/pbse_concolic.dir/concolic_executor.cc.o.d"
+  "libpbse_concolic.a"
+  "libpbse_concolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbse_concolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pbse_concolic.
+# This may be replaced when dependencies are built.

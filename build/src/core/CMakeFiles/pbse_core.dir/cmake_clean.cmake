@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbse_core.dir/driver.cc.o"
+  "CMakeFiles/pbse_core.dir/driver.cc.o.d"
+  "CMakeFiles/pbse_core.dir/pbse.cc.o"
+  "CMakeFiles/pbse_core.dir/pbse.cc.o.d"
+  "CMakeFiles/pbse_core.dir/seed_select.cc.o"
+  "CMakeFiles/pbse_core.dir/seed_select.cc.o.d"
+  "libpbse_core.a"
+  "libpbse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

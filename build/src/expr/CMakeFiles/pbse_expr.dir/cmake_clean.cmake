@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbse_expr.dir/evaluator.cc.o"
+  "CMakeFiles/pbse_expr.dir/evaluator.cc.o.d"
+  "CMakeFiles/pbse_expr.dir/expr.cc.o"
+  "CMakeFiles/pbse_expr.dir/expr.cc.o.d"
+  "libpbse_expr.a"
+  "libpbse_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbse_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbse_ir.dir/builder.cc.o"
+  "CMakeFiles/pbse_ir.dir/builder.cc.o.d"
+  "CMakeFiles/pbse_ir.dir/cfg.cc.o"
+  "CMakeFiles/pbse_ir.dir/cfg.cc.o.d"
+  "CMakeFiles/pbse_ir.dir/ir.cc.o"
+  "CMakeFiles/pbse_ir.dir/ir.cc.o.d"
+  "CMakeFiles/pbse_ir.dir/parser.cc.o"
+  "CMakeFiles/pbse_ir.dir/parser.cc.o.d"
+  "CMakeFiles/pbse_ir.dir/printer.cc.o"
+  "CMakeFiles/pbse_ir.dir/printer.cc.o.d"
+  "CMakeFiles/pbse_ir.dir/verifier.cc.o"
+  "CMakeFiles/pbse_ir.dir/verifier.cc.o.d"
+  "libpbse_ir.a"
+  "libpbse_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbse_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbse_lang.dir/codegen.cc.o"
+  "CMakeFiles/pbse_lang.dir/codegen.cc.o.d"
+  "CMakeFiles/pbse_lang.dir/lexer.cc.o"
+  "CMakeFiles/pbse_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/pbse_lang.dir/parser.cc.o"
+  "CMakeFiles/pbse_lang.dir/parser.cc.o.d"
+  "libpbse_lang.a"
+  "libpbse_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbse_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbse_phase.dir/kmeans.cc.o"
+  "CMakeFiles/pbse_phase.dir/kmeans.cc.o.d"
+  "CMakeFiles/pbse_phase.dir/phase_analysis.cc.o"
+  "CMakeFiles/pbse_phase.dir/phase_analysis.cc.o.d"
+  "libpbse_phase.a"
+  "libpbse_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbse_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

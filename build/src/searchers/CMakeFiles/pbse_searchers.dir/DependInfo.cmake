@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/searchers/basic.cc" "src/searchers/CMakeFiles/pbse_searchers.dir/basic.cc.o" "gcc" "src/searchers/CMakeFiles/pbse_searchers.dir/basic.cc.o.d"
+  "/root/repo/src/searchers/engine.cc" "src/searchers/CMakeFiles/pbse_searchers.dir/engine.cc.o" "gcc" "src/searchers/CMakeFiles/pbse_searchers.dir/engine.cc.o.d"
+  "/root/repo/src/searchers/random_path.cc" "src/searchers/CMakeFiles/pbse_searchers.dir/random_path.cc.o" "gcc" "src/searchers/CMakeFiles/pbse_searchers.dir/random_path.cc.o.d"
+  "/root/repo/src/searchers/searcher.cc" "src/searchers/CMakeFiles/pbse_searchers.dir/searcher.cc.o" "gcc" "src/searchers/CMakeFiles/pbse_searchers.dir/searcher.cc.o.d"
+  "/root/repo/src/searchers/weighted.cc" "src/searchers/CMakeFiles/pbse_searchers.dir/weighted.cc.o" "gcc" "src/searchers/CMakeFiles/pbse_searchers.dir/weighted.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/pbse_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pbse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pbse_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/pbse_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/pbse_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

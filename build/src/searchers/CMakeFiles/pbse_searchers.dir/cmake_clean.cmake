@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbse_searchers.dir/basic.cc.o"
+  "CMakeFiles/pbse_searchers.dir/basic.cc.o.d"
+  "CMakeFiles/pbse_searchers.dir/engine.cc.o"
+  "CMakeFiles/pbse_searchers.dir/engine.cc.o.d"
+  "CMakeFiles/pbse_searchers.dir/random_path.cc.o"
+  "CMakeFiles/pbse_searchers.dir/random_path.cc.o.d"
+  "CMakeFiles/pbse_searchers.dir/searcher.cc.o"
+  "CMakeFiles/pbse_searchers.dir/searcher.cc.o.d"
+  "CMakeFiles/pbse_searchers.dir/weighted.cc.o"
+  "CMakeFiles/pbse_searchers.dir/weighted.cc.o.d"
+  "libpbse_searchers.a"
+  "libpbse_searchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbse_searchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

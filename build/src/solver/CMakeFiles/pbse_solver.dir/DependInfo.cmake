@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/constraint_set.cc" "src/solver/CMakeFiles/pbse_solver.dir/constraint_set.cc.o" "gcc" "src/solver/CMakeFiles/pbse_solver.dir/constraint_set.cc.o.d"
+  "/root/repo/src/solver/independence.cc" "src/solver/CMakeFiles/pbse_solver.dir/independence.cc.o" "gcc" "src/solver/CMakeFiles/pbse_solver.dir/independence.cc.o.d"
+  "/root/repo/src/solver/interval.cc" "src/solver/CMakeFiles/pbse_solver.dir/interval.cc.o" "gcc" "src/solver/CMakeFiles/pbse_solver.dir/interval.cc.o.d"
+  "/root/repo/src/solver/search_solver.cc" "src/solver/CMakeFiles/pbse_solver.dir/search_solver.cc.o" "gcc" "src/solver/CMakeFiles/pbse_solver.dir/search_solver.cc.o.d"
+  "/root/repo/src/solver/solver.cc" "src/solver/CMakeFiles/pbse_solver.dir/solver.cc.o" "gcc" "src/solver/CMakeFiles/pbse_solver.dir/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/pbse_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pbse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

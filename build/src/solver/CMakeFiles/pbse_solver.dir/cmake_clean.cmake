@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbse_solver.dir/constraint_set.cc.o"
+  "CMakeFiles/pbse_solver.dir/constraint_set.cc.o.d"
+  "CMakeFiles/pbse_solver.dir/independence.cc.o"
+  "CMakeFiles/pbse_solver.dir/independence.cc.o.d"
+  "CMakeFiles/pbse_solver.dir/interval.cc.o"
+  "CMakeFiles/pbse_solver.dir/interval.cc.o.d"
+  "CMakeFiles/pbse_solver.dir/search_solver.cc.o"
+  "CMakeFiles/pbse_solver.dir/search_solver.cc.o.d"
+  "CMakeFiles/pbse_solver.dir/solver.cc.o"
+  "CMakeFiles/pbse_solver.dir/solver.cc.o.d"
+  "libpbse_solver.a"
+  "libpbse_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbse_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbse_support.dir/log.cc.o"
+  "CMakeFiles/pbse_support.dir/log.cc.o.d"
+  "CMakeFiles/pbse_support.dir/table.cc.o"
+  "CMakeFiles/pbse_support.dir/table.cc.o.d"
+  "libpbse_support.a"
+  "libpbse_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbse_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

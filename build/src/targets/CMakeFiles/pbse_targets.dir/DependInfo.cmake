@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/targets/corpus.cc" "src/targets/CMakeFiles/pbse_targets.dir/corpus.cc.o" "gcc" "src/targets/CMakeFiles/pbse_targets.dir/corpus.cc.o.d"
+  "/root/repo/src/targets/dwarfdump.cc" "src/targets/CMakeFiles/pbse_targets.dir/dwarfdump.cc.o" "gcc" "src/targets/CMakeFiles/pbse_targets.dir/dwarfdump.cc.o.d"
+  "/root/repo/src/targets/gif2tiff.cc" "src/targets/CMakeFiles/pbse_targets.dir/gif2tiff.cc.o" "gcc" "src/targets/CMakeFiles/pbse_targets.dir/gif2tiff.cc.o.d"
+  "/root/repo/src/targets/pngtest.cc" "src/targets/CMakeFiles/pbse_targets.dir/pngtest.cc.o" "gcc" "src/targets/CMakeFiles/pbse_targets.dir/pngtest.cc.o.d"
+  "/root/repo/src/targets/readelf.cc" "src/targets/CMakeFiles/pbse_targets.dir/readelf.cc.o" "gcc" "src/targets/CMakeFiles/pbse_targets.dir/readelf.cc.o.d"
+  "/root/repo/src/targets/tcpdump.cc" "src/targets/CMakeFiles/pbse_targets.dir/tcpdump.cc.o" "gcc" "src/targets/CMakeFiles/pbse_targets.dir/tcpdump.cc.o.d"
+  "/root/repo/src/targets/tiff_tools.cc" "src/targets/CMakeFiles/pbse_targets.dir/tiff_tools.cc.o" "gcc" "src/targets/CMakeFiles/pbse_targets.dir/tiff_tools.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/pbse_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pbse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pbse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbse_targets.dir/corpus.cc.o"
+  "CMakeFiles/pbse_targets.dir/corpus.cc.o.d"
+  "CMakeFiles/pbse_targets.dir/dwarfdump.cc.o"
+  "CMakeFiles/pbse_targets.dir/dwarfdump.cc.o.d"
+  "CMakeFiles/pbse_targets.dir/gif2tiff.cc.o"
+  "CMakeFiles/pbse_targets.dir/gif2tiff.cc.o.d"
+  "CMakeFiles/pbse_targets.dir/pngtest.cc.o"
+  "CMakeFiles/pbse_targets.dir/pngtest.cc.o.d"
+  "CMakeFiles/pbse_targets.dir/readelf.cc.o"
+  "CMakeFiles/pbse_targets.dir/readelf.cc.o.d"
+  "CMakeFiles/pbse_targets.dir/tcpdump.cc.o"
+  "CMakeFiles/pbse_targets.dir/tcpdump.cc.o.d"
+  "CMakeFiles/pbse_targets.dir/tiff_tools.cc.o"
+  "CMakeFiles/pbse_targets.dir/tiff_tools.cc.o.d"
+  "libpbse_targets.a"
+  "libpbse_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbse_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpbse_targets.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbse.dir/pbse_cli.cc.o"
+  "CMakeFiles/pbse.dir/pbse_cli.cc.o.d"
+  "pbse"
+  "pbse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

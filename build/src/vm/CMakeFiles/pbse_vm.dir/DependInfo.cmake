@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/bugs.cc" "src/vm/CMakeFiles/pbse_vm.dir/bugs.cc.o" "gcc" "src/vm/CMakeFiles/pbse_vm.dir/bugs.cc.o.d"
+  "/root/repo/src/vm/executor.cc" "src/vm/CMakeFiles/pbse_vm.dir/executor.cc.o" "gcc" "src/vm/CMakeFiles/pbse_vm.dir/executor.cc.o.d"
+  "/root/repo/src/vm/memory.cc" "src/vm/CMakeFiles/pbse_vm.dir/memory.cc.o" "gcc" "src/vm/CMakeFiles/pbse_vm.dir/memory.cc.o.d"
+  "/root/repo/src/vm/state.cc" "src/vm/CMakeFiles/pbse_vm.dir/state.cc.o" "gcc" "src/vm/CMakeFiles/pbse_vm.dir/state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/pbse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/pbse_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/pbse_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pbse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbse_vm.dir/bugs.cc.o"
+  "CMakeFiles/pbse_vm.dir/bugs.cc.o.d"
+  "CMakeFiles/pbse_vm.dir/executor.cc.o"
+  "CMakeFiles/pbse_vm.dir/executor.cc.o.d"
+  "CMakeFiles/pbse_vm.dir/memory.cc.o"
+  "CMakeFiles/pbse_vm.dir/memory.cc.o.d"
+  "CMakeFiles/pbse_vm.dir/state.cc.o"
+  "CMakeFiles/pbse_vm.dir/state.cc.o.d"
+  "libpbse_vm.a"
+  "libpbse_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbse_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pbse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/targets/CMakeFiles/pbse_targets.dir/DependInfo.cmake"
+  "/root/repo/build/src/searchers/CMakeFiles/pbse_searchers.dir/DependInfo.cmake"
+  "/root/repo/build/src/phase/CMakeFiles/pbse_phase.dir/DependInfo.cmake"
+  "/root/repo/build/src/concolic/CMakeFiles/pbse_concolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/pbse_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/pbse_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/pbse_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/pbse_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/pbse_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pbse_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
