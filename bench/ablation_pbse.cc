@@ -103,36 +103,11 @@ void ablation_seed_scale(const BenchConfig& config) {
 
 }  // namespace
 
-void ablation_seed_side(const BenchConfig& config) {
-  print_header(
-      "Ablation 5: recording the seed-following seedStates (Alg. 2 both "
-      "directions)");
-  TextTable table;
-  table.header({"driver", "directions", "covered BBs", "bugs"});
-  for (const char* driver : {"pngtest", "readelf"}) {
-    ir::Module module = build_by_driver(driver);
-    const auto& info = target_by_driver(driver);
-    for (const bool both : {false, true}) {
-      core::PbseOptions options;
-      options.executor.concolic_record_seed_side = both;
-      core::PbseDriver pbse(module, "main", options);
-      if (!pbse.prepare(info.seed(4))) continue;
-      if (config.hour10 > pbse.clock().now())
-        pbse.run(config.hour10 - pbse.clock().now());
-      table.row({driver, both ? "both" : "flipped-only",
-                 std::to_string(pbse.executor().num_covered()),
-                 std::to_string(pbse.executor().bugs().size())});
-    }
-  }
-  std::printf("%s", table.render().c_str());
-}
-
 int main(int argc, char** argv) {
   const BenchConfig config = parse_args(argc, argv);
   ablation_coverage_element();
   ablation_trap_threshold();
   ablation_time_period(config);
   ablation_seed_scale(config);
-  ablation_seed_side(config);
   return 0;
 }

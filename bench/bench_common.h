@@ -3,15 +3,19 @@
 // All experiment budgets are virtual-clock ticks. The mapping used
 // throughout (documented in DESIGN.md): "1h" of the paper's wall-clock
 // = kTicksPerHour ticks. Pass --quick to any bench to divide budgets by
-// 10 (CI smoke mode).
+// 10 (CI smoke mode), --jobs=N to run campaigns on N worker threads, and
+// --no-share-cache to give every campaign a private solver cache (bit-exact
+// serial/parallel parity; see DESIGN.md "Parallel campaigns").
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "core/driver.h"
+#include "core/parallel.h"
 #include "support/table.h"
 #include "targets/targets.h"
 
@@ -23,6 +27,15 @@ struct BenchConfig {
   std::uint64_t hour1 = kTicksPerHour;
   std::uint64_t hour10 = 10 * kTicksPerHour;
   bool quick = false;
+  unsigned jobs = 1;
+  bool share_cache = true;
+
+  core::ParallelOptions parallel() const {
+    core::ParallelOptions p;
+    p.jobs = jobs;
+    p.share_solver_cache = share_cache;
+    return p;
+  }
 };
 
 inline BenchConfig parse_args(int argc, char** argv) {
@@ -32,6 +45,16 @@ inline BenchConfig parse_args(int argc, char** argv) {
       config.quick = true;
       config.hour1 /= 10;
       config.hour10 /= 10;
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      config.jobs = static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 10));
+      if (config.jobs == 0) config.jobs = 1;
+    } else if (std::strcmp(argv[i], "--no-share-cache") == 0) {
+      config.share_cache = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--jobs=N] [--no-share-cache]\n",
+                   argv[0]);
+      std::exit(2);
     }
   }
   return config;

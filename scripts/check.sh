@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# CI gate: configure, build, run the test suite. Exits nonzero on any
+# failure. Usage: scripts/check.sh [build-dir] (default: build).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+# Prefer Ninja, but only on a fresh build dir: forcing a generator onto
+# an existing cache makes cmake abort.
+GEN=()
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]] && command -v ninja >/dev/null 2>&1; then
+  GEN=(-G Ninja)
+fi
+
+cmake -S . -B "$BUILD_DIR" "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" -j "$JOBS" --output-on-failure

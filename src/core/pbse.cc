@@ -35,11 +35,11 @@ bool PbseDriver::prepare(const std::vector<std::uint8_t>& seed) {
   if (concolic_.seed_states.empty() || analysis_.phases.empty()) return false;
 
   // SeedState selection (Sec. III-B3): same fork point -> keep earliest.
+  // Algorithm 2 already dedups at record time, so this is a defensive
+  // second pass over whatever the concolic step produced.
   std::unordered_map<std::uint64_t, const vm::ForkRecord*> earliest;
   for (const vm::ForkRecord& r : concolic_.seed_states) {
-    const std::uint64_t key =
-        ((std::uint64_t{r.fork_bb} << 32) | r.fork_inst) * 2 +
-        (r.flipped ? 1 : 0);
+    const std::uint64_t key = (std::uint64_t{r.fork_bb} << 32) | r.fork_inst;
     auto it = earliest.find(key);
     if (it == earliest.end() || r.fork_ticks < it->second->fork_ticks)
       earliest[key] = &r;
@@ -47,28 +47,13 @@ bool PbseDriver::prepare(const std::vector<std::uint8_t>& seed) {
   stats_.add("pbse.seed_states_total", concolic_.seed_states.size());
   stats_.add("pbse.seed_states_kept", earliest.size());
 
-  // Map retained seedStates to phases by fork time (Sec. III-B2). The
-  // flipped records all stay; of the seed-following snapshots each phase
-  // keeps only the EARLIEST one — a single "resume the seed path from this
-  // phase's entry" state per phase, which re-examines the phase's own code
-  // symbolically without flooding the scheduler with duplicate walkers.
+  // Map retained seedStates to phases by fork time (Sec. III-B2).
   phase_seed_states_.assign(analysis_.phases.size(), {});
-  std::vector<const vm::ForkRecord*> phase_resume(analysis_.phases.size(),
-                                                  nullptr);
   for (const auto& [key, record] : earliest) {
     (void)key;
     const std::uint32_t phase_id =
         phase::phase_of_ticks(analysis_, concolic_.bbvs, record->fork_ticks);
-    if (record->flipped) {
-      phase_seed_states_[phase_id].push_back(*record);
-    } else if (phase_resume[phase_id] == nullptr ||
-               record->fork_ticks < phase_resume[phase_id]->fork_ticks) {
-      phase_resume[phase_id] = record;
-    }
-  }
-  for (std::uint32_t pid = 0; pid < phase_resume.size(); ++pid) {
-    if (phase_resume[pid] != nullptr)
-      phase_seed_states_[pid].push_back(*phase_resume[pid]);
+    phase_seed_states_[phase_id].push_back(*record);
   }
   // Within a phase, activate seedStates in fork order (earlier constraints
   // are simpler — same rationale as the paper's phase ordering).

@@ -121,9 +121,9 @@ std::uint64_t CachingEvaluator::evaluate(const ExprRef& e) {
 }
 
 std::size_t expr_cost(const ExprRef& e) {
-  // Hash-consing keeps nodes alive for the process, so a global memo keyed
-  // by node pointer is stable. Single-threaded by design.
-  static auto* memo = new std::unordered_map<const Expr*, std::size_t>();
+  // Hash-consing keeps nodes alive for the thread, so a thread-local memo
+  // keyed by node pointer is stable (the interner is thread-local too).
+  thread_local auto* memo = new std::unordered_map<const Expr*, std::size_t>();
   auto it = memo->find(e.get());
   if (it != memo->end()) return it->second;
   const std::size_t cost = expr_dag_size(e);

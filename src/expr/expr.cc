@@ -103,10 +103,15 @@ struct InternEq {
   }
 };
 
-// Process-global interning table. The engine is single-threaded; nodes are
-// kept alive for the process lifetime (they are tiny and heavily shared).
+// Thread-local interning table: each campaign thread hash-conses its own
+// nodes, so structural equality stays a pointer comparison within a thread
+// and construction needs no locks. Nodes are kept alive for the thread's
+// lifetime (they are tiny and heavily shared); results that outlive the
+// thread hold their own ExprRefs. Campaigns must therefore build and run
+// on a single thread — the ParallelDriver's campaign-per-worker model.
 std::unordered_set<ExprRef, InternHash, InternEq>& intern_table() {
-  static auto* table = new std::unordered_set<ExprRef, InternHash, InternEq>();
+  thread_local auto* table =
+      new std::unordered_set<ExprRef, InternHash, InternEq>();
   return *table;
 }
 
@@ -474,7 +479,9 @@ void collect_reads(const ExprRef& e, std::vector<ReadSite>& out) {
 }
 
 const std::vector<ReadSite>& cached_reads(const ExprRef& e) {
-  static auto* memo =
+  // Thread-local like the interner: keyed by node pointers, which are only
+  // meaningful within the thread that interned them.
+  thread_local auto* memo =
       new std::unordered_map<const Expr*, std::vector<ReadSite>>();
   auto it = memo->find(e.get());
   if (it != memo->end()) return it->second;

@@ -9,8 +9,10 @@
 // solver caches rely on. Construction performs constant folding and a set
 // of local simplifications, so the engine can build expressions naively.
 //
-// The engine is single-threaded; the interning table is process-global and
-// unsynchronized by design.
+// The interning table is THREAD-LOCAL: expressions built on different
+// threads never alias, so independent campaigns can run on worker threads
+// without locks. A single campaign (and all expressions it compares by
+// pointer) must stay on one thread.
 #pragma once
 
 #include <cstdint>

@@ -31,9 +31,10 @@ bool satisfies_all(const std::vector<ExprRef>& constraints,
 }
 
 /// Shared evaluator over the all-zeros assignment; its memo persists for
-/// the process (bounded by the interning table).
+/// the thread (bounded by the thread-local interning table). Thread-local
+/// because the memo mutates on every evaluation.
 CachingEvaluator& zeros_evaluator() {
-  static auto* eval =
+  thread_local auto* eval =
       new CachingEvaluator(std::make_shared<Assignment>());
   return *eval;
 }
@@ -198,6 +199,22 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
       }
       return hit->result;
     }
+    // L2: the shared cross-campaign cache. A hit is promoted into the L1
+    // (already remapped onto this campaign's arrays by lookup()).
+    if (options_.shared_cache != nullptr) {
+      if (auto hit = options_.shared_cache->lookup(key, constraints)) {
+        stats_.add("solver.shared_cache_hits");
+        const SolverResult shared_result = hit->result;
+        if (shared_result == SolverResult::kSat && model != nullptr) {
+          Assignment cached;
+          for (const auto& [array, bytes] : hit->model)
+            cached.set(array, bytes);
+          copy_into(cached, model, constraints);
+        }
+        cache_.insert(key, std::move(*hit));
+        return shared_result;
+      }
+    }
   }
 
   // Domain propagation.
@@ -205,8 +222,12 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
   if (!propagate_domains(constraints, domains, evals)) {
     charge(evals);
     stats_.add("solver.propagation_unsat");
-    if (options_.use_cache)
+    if (options_.use_cache) {
       cache_.insert(key, QueryCache::Entry{SolverResult::kUnsat, {}});
+      if (options_.shared_cache != nullptr)
+        options_.shared_cache->insert(key,
+                                      QueryCache::Entry{SolverResult::kUnsat, {}});
+    }
     return SolverResult::kUnsat;
   }
 
@@ -259,14 +280,20 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
         for (const auto& a : arrays)
           entry.model.emplace_back(
               a, std::vector<std::uint8_t>(found.mutable_bytes(a)));
+        if (options_.shared_cache != nullptr)
+          options_.shared_cache->insert(key, entry);
         cache_.insert(key, std::move(entry));
       }
       return SolverResult::kSat;
     }
     case SolverResult::kUnsat:
       stats_.add("solver.search_unsat");
-      if (options_.use_cache)
+      if (options_.use_cache) {
         cache_.insert(key, QueryCache::Entry{SolverResult::kUnsat, {}});
+        if (options_.shared_cache != nullptr)
+          options_.shared_cache->insert(key,
+                                        QueryCache::Entry{SolverResult::kUnsat, {}});
+      }
       return SolverResult::kUnsat;
     case SolverResult::kUnknown:
       stats_.add("solver.search_unknown");

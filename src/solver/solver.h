@@ -43,6 +43,12 @@ struct SolverOptions {
   std::uint64_t charge_divisor = 32;
   bool use_cache = true;
   bool use_independence = true;
+  /// Optional shared L2 cache (thread-safe, sharded). When set, the solver
+  /// consults it after an L1 miss and publishes every solved query into it,
+  /// so concurrent campaigns reuse each other's sat/unsat results. Sharing
+  /// a cache across campaigns trades bit-exact serial/parallel determinism
+  /// for throughput — see DESIGN.md "Parallel campaigns".
+  std::shared_ptr<ShardedQueryCache> shared_cache;
 };
 
 class Solver {

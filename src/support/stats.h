@@ -9,7 +9,8 @@
 namespace pbse {
 
 /// A bag of named monotonic counters. Cheap enough to pass by reference
-/// everywhere; not thread-safe (engine is single-threaded).
+/// everywhere; not thread-safe (each campaign owns its own Stats and runs
+/// on one thread — merge with `merge()` after the campaigns join).
 class Stats {
  public:
   void add(const std::string& name, std::uint64_t n = 1) { counters_[name] += n; }
@@ -19,6 +20,11 @@ class Stats {
   }
   const std::map<std::string, std::uint64_t>& all() const { return counters_; }
   void clear() { counters_.clear(); }
+
+  /// Adds every counter of `other` into this bag (campaign aggregation).
+  void merge(const Stats& other) {
+    for (const auto& [name, n] : other.all()) counters_[name] += n;
+  }
 
  private:
   std::map<std::string, std::uint64_t> counters_;

@@ -1,0 +1,59 @@
+#include "support/thread_pool.h"
+
+namespace pbse {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  if (workers_.empty()) {
+    task();  // inline mode
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks.size());
+  for (auto& t : tasks) futures.push_back(submit(std::move(t)));
+  // Wait for everything first so no task is left running, then surface the
+  // first failure by submission order.
+  for (auto& f : futures) f.wait();
+  for (auto& f : futures) f.get();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task routes exceptions into the future
+  }
+}
+
+}  // namespace pbse

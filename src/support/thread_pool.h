@@ -1,0 +1,60 @@
+// A small fixed-size thread pool for campaign-level parallelism.
+//
+// Design constraints (see DESIGN.md "Parallel campaigns"):
+//  * Tasks are coarse (whole pbSE / KLEE campaigns, seconds to minutes),
+//    so a single mutex-guarded FIFO queue is plenty — no work stealing.
+//  * Exceptions thrown by a task are captured and re-thrown from the
+//    matching future's get(), never swallowed.
+//  * A pool constructed with zero threads runs every task inline on the
+//    submitting thread at submit() time. That degenerate mode is what
+//    `--jobs 1` uses: identical code path, zero scheduling nondeterminism,
+//    and no worker-thread hop for the thread-local expression interner.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pbse {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means "inline mode" (tasks run on the
+  /// submitting thread inside submit()).
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` and returns a future that becomes ready when it
+  /// finishes. An exception escaping `fn` is delivered through the future.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Number of worker threads (0 in inline mode).
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs every task and waits for all of them. Exceptions are collected
+  /// and the FIRST one (by task index, not completion order — so failures
+  /// are reported deterministically) is re-thrown after every task has
+  /// settled.
+  void run_all(std::vector<std::function<void()>> tasks);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pbse

@@ -11,8 +11,8 @@
 
 namespace pbse {
 
-/// Monotonic tick counter. Not thread-safe by design: the engine is
-/// single-threaded and determinism is the point.
+/// Monotonic tick counter. Not thread-safe by design: each campaign owns
+/// its own VClock and runs on one thread — determinism is the point.
 class VClock {
  public:
   using Ticks = std::uint64_t;

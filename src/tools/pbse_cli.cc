@@ -11,14 +11,21 @@
 //   pbse phases <target> [--seed-scale=K]
 //       Phase division report (the Fig 4 view).
 //
+// For 'klee' and 'run', <target> may be a single driver name, a
+// comma-separated list, or 'all'; --jobs=N runs the per-target campaigns
+// on N worker threads sharing the sharded solver cache (disable sharing
+// with --no-share-cache for bit-exact serial/parallel parity).
+//
 // Budgets are virtual-clock ticks (default 1,000,000 = the bench "1h").
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "concolic/concolic_executor.h"
 #include "core/driver.h"
+#include "core/parallel.h"
 #include "phase/phase_analysis.h"
 #include "targets/targets.h"
 
@@ -33,16 +40,21 @@ struct Args {
   std::uint32_t sym_size = 1000;
   std::uint64_t budget = 1'000'000;
   unsigned seed_scale = 6;
+  unsigned jobs = 1;
+  bool share_cache = true;
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: pbse <list|klee|run|concolic|phases> [target]\n"
+               "  <target> for klee/run: driver name, comma-list, or 'all'\n"
                "  --searcher=dfs|bfs|random-state|random-path|covnew|md2u|"
                "default\n"
                "  --sym-size=N   symbolic file size for 'klee' (default 1000)\n"
                "  --budget=T     tick budget (default 1000000)\n"
-               "  --seed-scale=K seed generator scale (default 6)\n");
+               "  --seed-scale=K seed generator scale (default 6)\n"
+               "  --jobs=N       worker threads for multi-target campaigns\n"
+               "  --no-share-cache  per-campaign private solver caches\n");
   return 2;
 }
 
@@ -69,6 +81,11 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.budget = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value_of("--seed-scale=")) {
       args.seed_scale = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--jobs=")) {
+      args.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+      if (args.jobs == 0) args.jobs = 1;
+    } else if (arg == "--no-share-cache") {
+      args.share_cache = false;
     } else {
       return false;
     }
@@ -84,16 +101,69 @@ const targets::TargetInfo* find_target(const std::string& driver) {
   return nullptr;
 }
 
-void print_bugs(const vm::Executor& executor) {
+std::string format_bugs(const vm::Executor& executor) {
+  std::string out;
+  char buf[256];
   for (const auto& bug : executor.bugs()) {
-    std::printf("BUG %s at %s:%u  (%s)\n", vm::bug_kind_name(bug.kind),
-                bug.function.c_str(), bug.line, bug.message.c_str());
-    std::printf("    witness:");
-    for (std::size_t i = 0; i < bug.input.size() && i < 24; ++i)
-      std::printf(" %02x", bug.input[i]);
-    if (bug.input.size() > 24) std::printf(" ...");
+    std::snprintf(buf, sizeof buf, "BUG %s at %s:%u  (%s)\n    witness:",
+                  vm::bug_kind_name(bug.kind), bug.function.c_str(), bug.line,
+                  bug.message.c_str());
+    out += buf;
+    for (std::size_t i = 0; i < bug.input.size() && i < 24; ++i) {
+      std::snprintf(buf, sizeof buf, " %02x", bug.input[i]);
+      out += buf;
+    }
+    if (bug.input.size() > 24) out += " ...";
+    out += "\n";
+  }
+  return out;
+}
+
+/// <target> for klee/run: a driver name, comma-list, or 'all'.
+std::vector<std::string> resolve_targets(const std::string& spec) {
+  std::vector<std::string> out;
+  if (spec == "all") {
+    for (const auto& t : targets::all_targets()) out.push_back(t.driver);
+    return out;
+  }
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string name = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!name.empty()) out.push_back(name);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Runs the campaigns (inline for --jobs=1), prints each campaign's
+/// preformatted output (rows[i][0]) in campaign order, and an aggregate
+/// footer when more than one campaign or worker was involved.
+int run_campaigns(const Args& args, std::vector<core::Campaign> campaigns) {
+  core::ParallelOptions popts;
+  popts.jobs = args.jobs;
+  popts.share_solver_cache = args.share_cache;
+  core::ParallelCampaignRunner runner(popts);
+  const auto outcomes = runner.run(campaigns);
+  int rc = 0;
+  for (const auto& o : outcomes) {
+    for (const auto& row : o.rows) std::printf("%s", row[0].c_str());
+    if (o.stats.get("cli.failed") != 0) rc = 1;
+  }
+  if (outcomes.size() > 1 || args.jobs > 1) {
+    const Stats& agg = runner.aggregate_stats();
+    const std::uint64_t hits = agg.get("cache.shared_hits");
+    const std::uint64_t misses = agg.get("cache.shared_misses");
+    std::printf("-- %zu campaigns, %u job(s), %.2fs wall", outcomes.size(),
+                args.jobs, runner.wall_seconds());
+    if (args.share_cache && hits + misses > 0)
+      std::printf(", shared cache hit-rate %.1f%%",
+                  100.0 * hits / static_cast<double>(hits + misses));
     std::printf("\n");
   }
+  return rc;
 }
 
 int cmd_list() {
@@ -111,51 +181,84 @@ int cmd_list() {
 }
 
 int cmd_klee(const Args& args) {
-  const auto* info = find_target(args.target);
-  if (info == nullptr) return 1;
-  ir::Module module = targets::build_target(info->source());
-  core::KleeRunOptions options;
-  options.searcher = args.searcher;
-  options.sym_file_size = args.sym_size;
-  core::KleeRun run(module, "main", options);
-  run.run(args.budget);
-  std::printf("%s: covered %llu / %u blocks in %llu ticks (%s, sym-%u)\n",
-              args.target.c_str(),
-              static_cast<unsigned long long>(run.executor().num_covered()),
-              module.total_blocks(),
-              static_cast<unsigned long long>(run.clock().now()),
-              search::searcher_kind_name(args.searcher), args.sym_size);
-  std::printf("states live: %zu, test cases: %zu, bugs: %zu\n",
-              run.num_states(), run.executor().test_cases().size(),
-              run.executor().bugs().size());
-  print_bugs(run.executor());
-  return 0;
+  std::vector<core::Campaign> campaigns;
+  for (const std::string& name : resolve_targets(args.target)) {
+    if (find_target(name) == nullptr) return 1;
+    campaigns.push_back({name, [name, &args](const core::CampaignContext& ctx) {
+      const auto* info = find_target(name);
+      ir::Module module = targets::build_target(info->source());
+      core::KleeRunOptions options;
+      options.searcher = args.searcher;
+      options.sym_file_size = args.sym_size;
+      options.solver.shared_cache = ctx.shared_cache;
+      core::KleeRun run(module, "main", options);
+      run.run(args.budget);
+      core::CampaignOutcome out;
+      out.covered = run.executor().num_covered();
+      out.ticks = run.clock().now();
+      out.bugs = run.executor().bugs().size();
+      out.stats = run.stats();
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "%s: covered %llu / %u blocks in %llu ticks (%s, sym-%u)\n"
+                    "states live: %zu, test cases: %zu, bugs: %zu\n",
+                    name.c_str(), static_cast<unsigned long long>(out.covered),
+                    module.total_blocks(),
+                    static_cast<unsigned long long>(out.ticks),
+                    search::searcher_kind_name(args.searcher), args.sym_size,
+                    run.num_states(), run.executor().test_cases().size(),
+                    run.executor().bugs().size());
+      out.rows = {{std::string(buf) + format_bugs(run.executor())}};
+      return out;
+    }});
+  }
+  return run_campaigns(args, std::move(campaigns));
 }
 
 int cmd_run(const Args& args) {
-  const auto* info = find_target(args.target);
-  if (info == nullptr) return 1;
-  ir::Module module = targets::build_target(info->source());
-  const auto seed = info->seed(args.seed_scale);
-  core::PbseDriver driver(module, "main");
-  if (!driver.prepare(seed)) {
-    std::fprintf(stderr, "prepare failed: no symbolic branches on the seed\n");
-    return 1;
+  std::vector<core::Campaign> campaigns;
+  for (const std::string& name : resolve_targets(args.target)) {
+    if (find_target(name) == nullptr) return 1;
+    campaigns.push_back({name, [name, &args](const core::CampaignContext& ctx) {
+      const auto* info = find_target(name);
+      ir::Module module = targets::build_target(info->source());
+      const auto seed = info->seed(args.seed_scale);
+      core::PbseOptions options;
+      options.solver.shared_cache = ctx.shared_cache;
+      core::PbseDriver driver(module, "main", options);
+      core::CampaignOutcome out;
+      if (!driver.prepare(seed)) {
+        out.rows = {{name + ": prepare failed: no symbolic branches on the "
+                            "seed\n"}};
+        out.stats.add("cli.failed");
+        return out;
+      }
+      char buf[256];
+      std::snprintf(
+          buf, sizeof buf,
+          "%s concolic: %llu ticks, %zu phases (%u traps), %llu seedStates\n",
+          name.c_str(), static_cast<unsigned long long>(driver.c_time_ticks()),
+          driver.phases().phases.size(), driver.phases().num_trap_phases,
+          static_cast<unsigned long long>(
+              driver.stats().get("pbse.seed_states_kept")));
+      std::string text = buf;
+      if (args.budget > driver.clock().now())
+        driver.run(args.budget - driver.clock().now());
+      out.covered = driver.executor().num_covered();
+      out.ticks = driver.clock().now();
+      out.bugs = driver.executor().bugs().size();
+      out.stats = driver.stats();
+      std::snprintf(buf, sizeof buf,
+                    "%s: covered %llu / %u blocks in %llu ticks\n",
+                    name.c_str(), static_cast<unsigned long long>(out.covered),
+                    module.total_blocks(),
+                    static_cast<unsigned long long>(out.ticks));
+      text += buf;
+      out.rows = {{text + format_bugs(driver.executor())}};
+      return out;
+    }});
   }
-  std::printf("concolic: %llu ticks, %zu phases (%u traps), %llu seedStates\n",
-              static_cast<unsigned long long>(driver.c_time_ticks()),
-              driver.phases().phases.size(), driver.phases().num_trap_phases,
-              static_cast<unsigned long long>(
-                  driver.stats().get("pbse.seed_states_kept")));
-  if (args.budget > driver.clock().now())
-    driver.run(args.budget - driver.clock().now());
-  std::printf("%s: covered %llu / %u blocks in %llu ticks\n",
-              args.target.c_str(),
-              static_cast<unsigned long long>(driver.executor().num_covered()),
-              module.total_blocks(),
-              static_cast<unsigned long long>(driver.clock().now()));
-  print_bugs(driver.executor());
-  return 0;
+  return run_campaigns(args, std::move(campaigns));
 }
 
 int cmd_concolic(const Args& args) {
@@ -175,7 +278,7 @@ int cmd_concolic(const Args& args) {
               static_cast<unsigned long long>(executor.num_covered()),
               module.total_blocks(), result.bbvs.size(),
               result.seed_states.size(), executor.bugs().size());
-  print_bugs(executor);
+  std::printf("%s", format_bugs(executor).c_str());
   return 0;
 }
 

@@ -363,38 +363,33 @@ void Executor::execute_branch(
     clock_.advance(1);
     const bool dir = ctx->seed_eval->evaluate_bool(cond);
     const ExprRef taken = dir ? cond : mk_lnot(cond);
+    stats_.add("concolic.symbolic_branches");
 
-    // Algorithm 2 lines 20-21 record seedStates for BOTH directions: the
-    // flipped side (to explore the other branch) and the seed-following
-    // side (a snapshot that re-executes the remaining seed path
-    // symbolically when its phase is scheduled — this is how deep-phase
-    // checks like the tIME month load get re-examined with the solver).
-    // Record-time dedup keeps only the EARLIEST seedState per (fork
-    // point, direction) — the paper's Sec. III-B3 selection.
+    // Algorithm 2 records one seedState per symbolic branch: the FLIPPED
+    // (unexplored) direction only. The seed-following side needs no
+    // snapshot — the concolic state itself keeps walking it, and phase
+    // scheduling re-enters seed-path code through the flipped states'
+    // symbolic re-execution. Record-time dedup keeps only the EARLIEST
+    // seedState per fork point — the paper's Sec. III-B3 selection.
     const std::uint64_t fork_point =
         (std::uint64_t{state.current_global_bb()} << 32) |
         state.frame().inst;
-    for (const bool flip : {true, false}) {
-      if (!flip && !options_.concolic_record_seed_side) continue;
-      const std::uint64_t key = fork_point * 2 + (flip ? 1 : 0);
-      if (!concolic_seen_forks_.insert(key).second) {
-        stats_.add("concolic.seed_states_deduped");
-        continue;
-      }
+    if (concolic_seen_forks_.insert(fork_point).second) {
       ForkRecord record;
       record.fork_ticks = clock_.now();
       record.fork_bb = state.current_global_bb();
       record.fork_inst = state.frame().inst;
-      record.flipped = flip;
       auto child = state.fork(allocate_state_id());
       child->born_at_ticks = clock_.now();
       child->fork_bb = record.fork_bb;
       child->fork_inst = record.fork_inst;
-      if (child->constraints.add(flip ? mk_lnot(taken) : taken)) {
+      if (child->constraints.add(mk_lnot(taken))) {
         record.state = std::shared_ptr<ExecutionState>(std::move(child));
         ctx->fork_records->push_back(std::move(record));
         stats_.add("concolic.seed_states");
       }
+    } else {
+      stats_.add("concolic.seed_states_deduped");
     }
 
     state.constraints.add(taken);

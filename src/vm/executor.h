@@ -10,9 +10,10 @@
 //
 //  * Concolic (step_concolic, Algorithm 2 of the paper): one state follows
 //    the seed input concretely while accumulating symbolic constraints. At
-//    every symbolic branch the off-path state is recorded as a *seedState*
-//    (ForkRecord) without any solver work; bugs are only reported if the
-//    seed itself triggers them.
+//    every symbolic branch the flipped (unexplored) direction is recorded
+//    as a *seedState* (ForkRecord) without any solver work — one per
+//    distinct fork point, keeping the earliest; bugs are only reported if
+//    the seed itself triggers them.
 //
 // All checks KLEE performs are implemented: load/store bounds (symbolic
 // offsets become solver queries and feasible violations become bug
@@ -47,23 +48,16 @@ struct ExecutorOptions {
   bool detect_use_after_return = false;
   /// Cap on stored test cases (bug reports are always kept).
   std::uint64_t max_test_cases = 4096;
-  /// Algorithm 2 records seedStates for BOTH branch directions; disabling
-  /// this keeps only the flipped (off-seed) side — the ablation that shows
-  /// why the seed-following snapshots matter.
-  bool concolic_record_seed_side = true;
 };
 
-/// A seedState: the off-path fork recorded during concolic execution
-/// (paper Sec. III-B2). Its `model` is still the seed (which does NOT
-/// satisfy the flipped constraint); pbSE validates it on activation.
+/// A seedState: the flipped (off-seed) fork recorded during concolic
+/// execution (paper Sec. III-B2). Its `model` is still the seed (which does
+/// NOT satisfy the flipped constraint); pbSE validates it on activation.
 struct ForkRecord {
   std::shared_ptr<ExecutionState> state;
   std::uint64_t fork_ticks = 0;
   std::uint32_t fork_bb = 0;    // global block id of the fork point
   std::uint32_t fork_inst = 0;  // instruction index within the block
-  /// True for the off-seed direction, false for the seed-following
-  /// snapshot (Algorithm 2 records both).
-  bool flipped = true;
 };
 
 class Executor {

@@ -70,7 +70,9 @@ TEST(Concolic, SeedStatesFlipTheFollowedBranch) {
   seed_assignment.set(result.input_array, seed);
   for (const auto& record : result.seed_states) {
     // Every seedState's newest constraint contradicts the seed: the seed
-    // CANNOT satisfy the full set (it went the other way).
+    // CANNOT satisfy the full set (it went the other way). Algorithm 2
+    // records ONLY these flipped states — a seed-following snapshot would
+    // satisfy its whole constraint set and fail this check.
     const auto& constraints = record.state->constraints.constraints();
     ASSERT_FALSE(constraints.empty());
     bool all = true;
@@ -92,7 +94,45 @@ TEST(Concolic, SeedStatesDedupedByForkPoint) {
     EXPECT_TRUE(points.insert(point).second)
         << "duplicate seedState for one fork point";
   }
+  // kLoopy has exactly four symbolic fork points on this seed: the loop
+  // guard `i < n`, its materialized `&&` re-branch in and.end, the
+  // `f[0] == 9` test, and ITS and.end re-branch. One seedState per
+  // distinct fork point — the both-directions regression doubles this.
+  EXPECT_EQ(result.seed_states.size(), 4u);
+  // The guard re-forks on every one of the 8 remaining iterations plus the
+  // exit test; all but the first encounter dedup away.
   EXPECT_GT(fx.stats.get("concolic.seed_states_deduped"), 0u);
+  EXPECT_EQ(result.seed_states.size() +
+                fx.stats.get("concolic.seed_states_deduped"),
+            fx.stats.get("concolic.symbolic_branches"));
+}
+
+TEST(Concolic, SeedStatesAllUnsatisfiableUnderSeed) {
+  // Regression guard for the both-directions bug: EVERY recorded seedState
+  // (across a seed that exercises loops and nested conditions) must be
+  // unsatisfiable under the seed assignment, and there must be exactly one
+  // per distinct fork point.
+  Fixture fx(kLoopy);
+  const std::vector<std::uint8_t> seed = {9, 7, 3, 0, 0, 0, 0, 0, 0, 0, 0};
+  auto result = concolic::run_concolic(fx.executor, "main", seed);
+  ASSERT_FALSE(result.seed_states.empty());
+
+  Assignment seed_assignment;
+  seed_assignment.set(result.input_array, seed);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> points;
+  for (const auto& record : result.seed_states) {
+    points.insert({record.fork_bb, record.fork_inst});
+    bool all = true;
+    for (const auto& c : record.state->constraints.constraints())
+      all = all && evaluate_bool(c, seed_assignment);
+    EXPECT_FALSE(all) << "seed-side snapshot leaked into seedStates";
+  }
+  EXPECT_EQ(points.size(), result.seed_states.size())
+      << "seedStates must be deduplicated on the fork point alone";
+  // f[0] == 9 here, so the `f[1] == 7` arm IS reached (it feeds the second
+  // and.end re-branch): loop guard + its and.end + `f[0] == 9` + its
+  // and.end — four distinct fork points, recorded exactly once each.
+  EXPECT_EQ(result.seed_states.size(), 4u);
 }
 
 TEST(Concolic, BBVsPartitionTheExecution) {

@@ -28,6 +28,7 @@ ConcreteRun run_seed(const ir::Module& module,
   vm::Executor executor(module, solver, clock, stats);
   concolic::ConcolicOptions options;
   options.record_trace = false;
+  options.offpath_bug_checks = false;  // pure replay: no solver bugs
   auto result = run_concolic(executor, "main", seed, options);
   return ConcreteRun{result.termination, executor.bugs().size(),
                      executor.num_covered(), result.instructions,
