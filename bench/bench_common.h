@@ -16,6 +16,7 @@
 
 #include "core/driver.h"
 #include "core/parallel.h"
+#include "obs/trace.h"
 #include "support/table.h"
 #include "targets/targets.h"
 
@@ -29,6 +30,7 @@ struct BenchConfig {
   bool quick = false;
   unsigned jobs = 1;
   bool share_cache = true;
+  std::string trace_path;
 
   core::ParallelOptions parallel() const {
     core::ParallelOptions p;
@@ -50,13 +52,18 @@ inline BenchConfig parse_args(int argc, char** argv) {
       if (config.jobs == 0) config.jobs = 1;
     } else if (std::strcmp(argv[i], "--no-share-cache") == 0) {
       config.share_cache = false;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      config.trace_path = argv[i] + 8;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--quick] [--jobs=N] [--no-share-cache]\n",
+                   "usage: %s [--quick] [--jobs=N] [--no-share-cache] "
+                   "[--trace=PATH]\n",
                    argv[0]);
       std::exit(2);
     }
   }
+  if (!config.trace_path.empty())
+    obs::start_tracing_to_file(config.trace_path);
   return config;
 }
 

@@ -5,6 +5,7 @@
 
 #include "concolic/concolic_executor.h"
 #include "expr/evaluator.h"
+#include "obs/trace.h"
 #include "phase/kmeans.h"
 #include "solver/solver.h"
 #include "targets/targets.h"
@@ -121,6 +122,25 @@ void BM_KMeans(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_KMeans)->Arg(4)->Arg(16);
+
+// The disabled-path cost of an instrumentation site: one relaxed atomic
+// load and a branch, with no argument evaluation. Compare against
+// BM_TraceBaselineLoop to see the delta per call.
+void BM_TraceDisabledInstant(benchmark::State& state) {
+  const obs::MetricId name = obs::intern_metric("bench.trace_disabled");
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    obs::trace_instant(obs::Category::kOther, name, tick);
+    benchmark::DoNotOptimize(++tick);
+  }
+}
+BENCHMARK(BM_TraceDisabledInstant);
+
+void BM_TraceBaselineLoop(benchmark::State& state) {
+  std::uint64_t tick = 0;
+  for (auto _ : state) benchmark::DoNotOptimize(++tick);
+}
+BENCHMARK(BM_TraceBaselineLoop);
 
 }  // namespace
 

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Compares two BENCH_pbse.json files on their deterministic fields.
+
+Wall-clock fields (wall_seconds) vary run to run and are ignored; coverage,
+ticks, bug counts, and solver-cache counters are virtual-clock-deterministic
+for a fixed bench configuration, so any drift is a real behaviour change and
+fails the check. Usage: bench_diff.py <golden.json> <fresh.json>
+"""
+import json
+import sys
+
+
+def deterministic(d):
+    out = {k: d[k] for k in ("bench", "jobs", "share_cache", "total_covered",
+                             "total_bugs", "total_ticks")}
+    out["solver_cache"] = {k: v for k, v in d["solver_cache"].items()}
+    out["campaigns"] = [{k: c[k] for k in ("name", "covered", "ticks", "bugs")}
+                        for c in d["campaigns"]]
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    golden_path, fresh_path = sys.argv[1], sys.argv[2]
+    with open(golden_path) as f:
+        golden = deterministic(json.load(f))
+    with open(fresh_path) as f:
+        fresh = deterministic(json.load(f))
+    if golden == fresh:
+        print(f"bench_diff: {fresh_path} matches {golden_path}")
+        return 0
+    print(f"bench_diff: DRIFT between {golden_path} and {fresh_path}:",
+          file=sys.stderr)
+    for key in golden:
+        if golden[key] != fresh[key]:
+            print(f"  {key}: {golden[key]!r} -> {fresh[key]!r}",
+                  file=sys.stderr)
+    print("If the change is intended, regenerate the golden with:\n"
+          "  ./build/bench/table1_readelf_searchers --quick --jobs=2 "
+          "--no-share-cache", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,3 +17,14 @@ fi
 cmake -S . -B "$BUILD_DIR" "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" -j "$JOBS" --output-on-failure
+
+# Golden bench check: regenerate the small-workload bench and diff its
+# deterministic fields (coverage/ticks/bugs; wall-clock is ignored) against
+# the committed BENCH_pbse.json. --no-share-cache keeps the run bit-exact
+# regardless of worker scheduling.
+cp BENCH_pbse.json "$BUILD_DIR/BENCH_golden.json"
+"./$BUILD_DIR/bench/table1_readelf_searchers" --quick --jobs=2 --no-share-cache
+python3 scripts/bench_diff.py "$BUILD_DIR/BENCH_golden.json" BENCH_pbse.json
+# Deterministic fields match: restore the committed file so the only diff a
+# passing run leaves behind is nothing at all (wall_seconds would churn).
+mv "$BUILD_DIR/BENCH_golden.json" BENCH_pbse.json

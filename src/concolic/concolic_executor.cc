@@ -1,6 +1,30 @@
 #include "concolic/concolic_executor.h"
 
+#include "obs/trace.h"
+
 namespace pbse::concolic {
+
+namespace {
+
+struct ConcolicIds {
+  /// Log2 histogram: virtual ticks per closed BBV interval.
+  obs::MetricId interval_ticks =
+      obs::intern_metric("concolic.interval_ticks");
+  obs::MetricId intervals = obs::intern_metric("concolic.intervals");
+  obs::MetricId ev_run = obs::intern_metric("concolic_run");
+  obs::MetricId ev_bbv_close = obs::intern_metric("bbv_close");
+  obs::MetricId arg_blocks = obs::intern_metric("blocks");
+  obs::MetricId arg_ticks = obs::intern_metric("ticks");
+  obs::MetricId arg_insts = obs::intern_metric("insts");
+  obs::MetricId arg_seed_states = obs::intern_metric("seed_states");
+};
+
+const ConcolicIds& ids() {
+  static const ConcolicIds c;
+  return c;
+}
+
+}  // namespace
 
 ConcolicResult run_concolic(vm::Executor& executor, const std::string& entry,
                             const std::vector<std::uint8_t>& seed,
@@ -27,6 +51,11 @@ ConcolicResult run_concolic(vm::Executor& executor, const std::string& entry,
     current.coverage =
         static_cast<double>(executor.num_covered()) /
         static_cast<double>(executor.module().total_blocks());
+    executor.stats().add(ids().intervals);
+    executor.stats().observe(ids().interval_ticks, now - interval_start);
+    obs::trace_instant(obs::Category::kConcolic, ids().ev_bbv_close, now,
+                       current.counts.size(), ids().arg_blocks,
+                       now - interval_start, ids().arg_ticks);
     result.bbvs.push_back(std::move(current));
     current = BBV{};
     current.start_ticks = now;
@@ -42,6 +71,7 @@ ConcolicResult run_concolic(vm::Executor& executor, const std::string& entry,
 
   auto state = executor.make_initial_state(entry, result.input_array, seed);
 
+  obs::trace_begin(obs::Category::kConcolic, ids().ev_run, t0, seed.size());
   while (!state->done() && result.instructions < options.max_instructions) {
     executor.step_concolic(*state, *seed_assignment, seed_eval,
                            result.seed_states, options.offpath_bug_checks);
@@ -55,6 +85,10 @@ ConcolicResult run_concolic(vm::Executor& executor, const std::string& entry,
 
   result.termination = state->termination;
   result.ticks_used = executor.clock().now() - t0;
+  obs::trace_end(obs::Category::kConcolic, ids().ev_run,
+                 executor.clock().now(), result.instructions,
+                 ids().arg_insts, result.seed_states.size(),
+                 ids().arg_seed_states);
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <exception>
 #include <mutex>
 
+#include "obs/trace.h"
 #include "support/thread_pool.h"
 
 namespace pbse::core {
@@ -32,12 +33,18 @@ std::vector<CampaignOutcome> ParallelCampaignRunner::run(
         CampaignContext ctx;
         ctx.index = i;
         ctx.shared_cache = shared_cache_;
+        // Every event this thread emits while the body runs carries the
+        // campaign's index; the campaign name is the event name.
+        obs::CampaignScope scope(static_cast<std::uint32_t>(i));
+        const obs::MetricId ev = obs::intern_metric(campaigns[i].name);
+        obs::trace_begin(obs::Category::kCampaign, ev, 0);
         const auto start = std::chrono::steady_clock::now();
         try {
           outcomes[i] = campaigns[i].body(ctx);
         } catch (...) {
           errors[i] = std::current_exception();
         }
+        obs::trace_end(obs::Category::kCampaign, ev, outcomes[i].ticks);
         outcomes[i].name = campaigns[i].name;
         outcomes[i].wall_seconds =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -

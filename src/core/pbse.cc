@@ -3,9 +3,46 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "support/log.h"
 
 namespace pbse::core {
+
+namespace {
+
+struct CoreIds {
+  obs::MetricId seed_states_total =
+      obs::intern_metric("pbse.seed_states_total");
+  obs::MetricId seed_states_kept =
+      obs::intern_metric("pbse.seed_states_kept");
+  obs::MetricId seed_states_activated =
+      obs::intern_metric("pbse.seed_states_activated");
+  obs::MetricId turns = obs::intern_metric("pbse.turns");
+  /// Log2 histogram: live states in a phase at the end of each turn.
+  obs::MetricId states_per_phase =
+      obs::intern_metric("pbse.states_per_phase");
+  obs::MetricId ev_analysis = obs::intern_metric("phase_analysis");
+  obs::MetricId ev_turn = obs::intern_metric("turn");
+  obs::MetricId ev_activate = obs::intern_metric("phase_activate");
+  obs::MetricId ev_retired = obs::intern_metric("phase_retired");
+  obs::MetricId arg_phase = obs::intern_metric("phase");
+  obs::MetricId arg_turn = obs::intern_metric("turn");
+  obs::MetricId arg_phases = obs::intern_metric("phases");
+  obs::MetricId arg_traps = obs::intern_metric("traps");
+  obs::MetricId arg_states = obs::intern_metric("states");
+  obs::MetricId arg_cover = obs::intern_metric("cover");
+  obs::MetricId arg_reason = obs::intern_metric("reason");
+};
+
+const CoreIds& ids() {
+  static const CoreIds c;
+  return c;
+}
+
+/// Why a phase left the Algorithm 3 rotation (the a0 of `phase_retired`).
+enum class RetireReason : std::uint64_t { kExhausted = 0 };
+
+}  // namespace
 
 PbseDriver::PbseDriver(const ir::Module& module, const std::string& entry,
                        PbseOptions options)
@@ -27,10 +64,15 @@ bool PbseDriver::prepare(const std::vector<std::uint8_t>& seed) {
   bug_phases_.assign(executor_->bugs().size(), ~std::uint32_t{0});
 
   // --- Step 2: phase parsing. --------------------------------------------
+  obs::trace_begin(obs::Category::kPhase, ids().ev_analysis, clock_.now(),
+                   concolic_.bbvs.size());
   analysis_ = phase::analyze_phases(concolic_.bbvs, options_.phase);
   // Charge the clustering work to the virtual clock (the paper's p-time).
   p_time_ = analysis_.work / 8 + 1;
   clock_.advance(p_time_);
+  obs::trace_end(obs::Category::kPhase, ids().ev_analysis, clock_.now(),
+                 analysis_.phases.size(), ids().arg_phases,
+                 analysis_.num_trap_phases, ids().arg_traps);
 
   if (concolic_.seed_states.empty() || analysis_.phases.empty()) return false;
 
@@ -44,8 +86,8 @@ bool PbseDriver::prepare(const std::vector<std::uint8_t>& seed) {
     if (it == earliest.end() || r.fork_ticks < it->second->fork_ticks)
       earliest[key] = &r;
   }
-  stats_.add("pbse.seed_states_total", concolic_.seed_states.size());
-  stats_.add("pbse.seed_states_kept", earliest.size());
+  stats_.add(ids().seed_states_total, concolic_.seed_states.size());
+  stats_.add(ids().seed_states_kept, earliest.size());
 
   // Map retained seedStates to phases by fork time (Sec. III-B2).
   phase_seed_states_.assign(analysis_.phases.size(), {});
@@ -90,8 +132,11 @@ void PbseDriver::activate_pending(PhaseRuntime& phase) {
     state->id = executor_->allocate_state_id();
     if (!executor_->validate_model(*state)) continue;
     phase.engine->add_state(std::move(state));
-    stats_.add("pbse.seed_states_activated");
+    stats_.add(ids().seed_states_activated);
   }
+  obs::trace_instant(obs::Category::kSched, ids().ev_activate, clock_.now(),
+                     phase.phase_id, ids().arg_phase,
+                     phase.engine->num_states(), ids().arg_states);
   phase.pending.clear();
   phase.started = true;
 }
@@ -112,6 +157,11 @@ void PbseDriver::run(VClock::Ticks budget) {
 
     if (!phase.started) activate_pending(phase);
     if (phase.searcher->empty()) {
+      obs::trace_instant(
+          obs::Category::kSched, ids().ev_retired, clock_.now(),
+          phase.phase_id, ids().arg_phase,
+          static_cast<std::uint64_t>(RetireReason::kExhausted),
+          ids().arg_reason);
       live.erase(live.begin() + static_cast<std::ptrdiff_t>(phase_index));
       // Re-balance i so the rotation stays aligned after erasure.
       if (!live.empty()) i = (i - 1) % live.size();
@@ -120,6 +170,9 @@ void PbseDriver::run(VClock::Ticks budget) {
 
     const std::uint64_t phase_start = clock_.now();
     const std::uint64_t period = turn * options_.time_period_ticks;
+    const std::uint64_t covered_before = executor_->num_covered();
+    obs::trace_begin(obs::Category::kSched, ids().ev_turn, phase_start,
+                     phase.phase_id, ids().arg_phase, turn, ids().arg_turn);
     std::uint64_t last_cover_epoch = executor_->coverage_epoch();
     std::uint64_t last_cover_ticks = clock_.now();
     const std::size_t bugs_before = executor_->bugs().size();
@@ -139,6 +192,13 @@ void PbseDriver::run(VClock::Ticks budget) {
     // Tag bugs found during this turn with the phase id.
     for (std::size_t b = bugs_before; b < executor_->bugs().size(); ++b)
       bug_phases_.push_back(phase.phase_id);
+
+    stats_.add(ids().turns);
+    stats_.observe(ids().states_per_phase, phase.engine->num_states());
+    obs::trace_end(obs::Category::kSched, ids().ev_turn, clock_.now(),
+                   phase.engine->num_states(), ids().arg_states,
+                   executor_->num_covered() - covered_before,
+                   ids().arg_cover);
 
     PBSE_LOG_DEBUG << "pbse phase " << phase.phase_id << " turn " << turn
                    << ": states=" << phase.engine->num_states()

@@ -1,0 +1,84 @@
+#include "obs/metrics.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace pbse::obs {
+
+namespace {
+
+/// The process-wide name registry. Leaked on purpose: interned names (and
+/// the MetricIds handed out for them) must stay valid for the lifetime of
+/// every thread, including detached sink writers at exit.
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string_view, MetricId> by_name;  // views into names
+  std::vector<std::unique_ptr<std::string>> names;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace
+
+MetricId intern_metric(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.by_name.find(name);
+  if (it != r.by_name.end()) return it->second;
+  r.names.push_back(std::make_unique<std::string>(name));
+  const MetricId id = static_cast<MetricId>(r.names.size() - 1);
+  r.by_name.emplace(std::string_view(*r.names.back()), id);
+  return id;
+}
+
+MetricId find_metric(std::string_view name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.by_name.find(name);
+  return it == r.by_name.end() ? kInvalidMetric : it->second;
+}
+
+const std::string& metric_name(MetricId id) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  static const std::string kUnknown = "<unknown-metric>";
+  return id < r.names.size() ? *r.names[id] : kUnknown;
+}
+
+std::size_t metric_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.names.size();
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(p * static_cast<double>(count_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (unsigned b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) return bucket_upper(b);
+  }
+  return max_;
+}
+
+void MetricStore::merge(const MetricStore& other) {
+  if (other.counters_.size() > counters_.size())
+    counters_.resize(other.counters_.size(), 0);
+  for (MetricId id = 0; id < other.counters_.size(); ++id)
+    counters_[id] += other.counters_[id];
+  if (other.hists_.size() > hists_.size()) hists_.resize(other.hists_.size());
+  for (MetricId id = 0; id < other.hists_.size(); ++id) {
+    if (other.hists_[id] == nullptr) continue;
+    if (hists_[id] == nullptr) hists_[id] = std::make_unique<Histogram>();
+    hists_[id]->merge(*other.hists_[id]);
+  }
+}
+
+}  // namespace pbse::obs

@@ -1,0 +1,74 @@
+// Lock-free single-producer / single-consumer event ring.
+//
+// Each tracing thread owns one EventRing: the owning thread is the only
+// producer, and consumers (Tracer::flush, or the producer itself draining
+// on overflow) are serialized externally by the Tracer's sink mutex. The
+// hot path — try_push on a non-full ring — is two relaxed/acquire atomic
+// loads, a slot store, and a release store: no locks, no allocation.
+//
+// head_ counts pushes, tail_ counts pops; both increase monotonically and
+// are masked into the power-of-two slot array, so full/empty never need a
+// wasted slot.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace pbse::obs {
+
+class EventRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit EventRing(std::size_t capacity = 4096) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Producer side. Returns false when the ring is full (the caller then
+  /// drains — see Tracer::emit — and retries).
+  bool try_push(const TraceEvent& e) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= slots_.size()) return false;
+    slots_[head & mask_] = e;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: appends every pending event to `out` in push order and
+  /// returns how many were popped. Concurrent consumers must be serialized
+  /// by the caller; safe against a concurrent producer.
+  std::size_t pop_all(std::vector<TraceEvent>& out) {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t n = static_cast<std::size_t>(head - tail);
+    out.reserve(out.size() + n);
+    for (; tail != head; ++tail) out.push_back(slots_[tail & mask_]);
+    tail_.store(tail, std::memory_order_release);
+    return n;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Approximate (racy) number of pending events.
+  std::size_t size() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace pbse::obs

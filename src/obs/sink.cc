@@ -1,0 +1,143 @@
+#include "obs/sink.h"
+
+namespace pbse::obs {
+
+namespace {
+
+const char* category_names[] = {"vm",    "concolic", "solver", "phase",
+                                "sched", "campaign", "other"};
+
+char phase_letter(EventPhase ph) {
+  switch (ph) {
+    case EventPhase::kInstant: return 'I';
+    case EventPhase::kBegin: return 'B';
+    case EventPhase::kEnd: return 'E';
+    case EventPhase::kCounter: return 'C';
+  }
+  return 'I';
+}
+
+void write_escaped(std::FILE* f, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      std::fputc('\\', f);
+      std::fputc(c, f);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      std::fprintf(f, "\\u%04x", c);
+    } else {
+      std::fputc(c, f);
+    }
+  }
+}
+
+void write_args(std::FILE* f, const TraceEvent& e) {
+  if (e.arg0 == kInvalidMetric && e.arg1 == kInvalidMetric) return;
+  std::fprintf(f, ",\"args\":{");
+  bool first = true;
+  if (e.arg0 != kInvalidMetric) {
+    std::fputc('"', f);
+    write_escaped(f, metric_name(e.arg0));
+    std::fprintf(f, "\":%llu", static_cast<unsigned long long>(e.a0));
+    first = false;
+  }
+  if (e.arg1 != kInvalidMetric) {
+    if (!first) std::fputc(',', f);
+    std::fputc('"', f);
+    write_escaped(f, metric_name(e.arg1));
+    std::fprintf(f, "\":%llu", static_cast<unsigned long long>(e.a1));
+  }
+  std::fputc('}', f);
+}
+
+void write_event_body(std::FILE* f, const TraceEvent& e, bool chrome) {
+  const char ph = phase_letter(e.phase);
+  std::fprintf(f, "{\"ph\":\"%c", chrome && ph == 'I' ? 'i' : ph);
+  std::fprintf(f, "\",\"cat\":\"%s\",\"name\":\"",
+               category_name(e.category));
+  write_escaped(f, metric_name(e.name));
+  std::fputc('"', f);
+  if (chrome && e.phase == EventPhase::kInstant) std::fprintf(f, ",\"s\":\"t\"");
+  std::fprintf(f, ",\"%s\":%u,\"tid\":%u,\"ts\":%llu",
+               chrome ? "pid" : "cid", e.campaign, e.tid,
+               static_cast<unsigned long long>(e.ticks));
+  write_args(f, e);
+  std::fputc('}', f);
+}
+
+}  // namespace
+
+const char* category_name(Category c) {
+  const auto i = static_cast<unsigned>(c);
+  return i < static_cast<unsigned>(Category::kNumCategories)
+             ? category_names[i]
+             : "other";
+}
+
+bool parse_category(std::string_view name, Category& out) {
+  for (unsigned i = 0; i < static_cast<unsigned>(Category::kNumCategories);
+       ++i) {
+    if (name == category_names[i]) {
+      out = static_cast<Category>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+JsonlSink::JsonlSink(const std::string& path) {
+  f_ = std::fopen(path.c_str(), "w");
+  if (f_ == nullptr)
+    std::fprintf(stderr, "obs: cannot open trace file %s\n", path.c_str());
+}
+
+JsonlSink::~JsonlSink() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void JsonlSink::write(const TraceEvent& e) {
+  if (f_ == nullptr) return;
+  write_event_body(f_, e, /*chrome=*/false);
+  std::fputc('\n', f_);
+}
+
+void JsonlSink::finish() {
+  if (f_ == nullptr) return;
+  std::fclose(f_);
+  f_ = nullptr;
+}
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path) {
+  f_ = std::fopen(path.c_str(), "w");
+  if (f_ == nullptr) {
+    std::fprintf(stderr, "obs: cannot open trace file %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f_, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+}
+
+ChromeTraceSink::~ChromeTraceSink() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void ChromeTraceSink::write(const TraceEvent& e) {
+  if (f_ == nullptr) return;
+  if (!first_) std::fprintf(f_, ",\n");
+  first_ = false;
+  write_event_body(f_, e, /*chrome=*/true);
+}
+
+void ChromeTraceSink::finish() {
+  if (f_ == nullptr) return;
+  std::fprintf(f_, "\n]}\n");
+  std::fclose(f_);
+  f_ = nullptr;
+}
+
+std::unique_ptr<TraceSink> make_file_sink(const std::string& path) {
+  const bool chrome =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  if (chrome) return std::make_unique<ChromeTraceSink>(path);
+  return std::make_unique<JsonlSink>(path);
+}
+
+}  // namespace pbse::obs

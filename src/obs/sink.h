@@ -1,0 +1,74 @@
+// Trace sinks: where drained TraceEvents go.
+//
+// Sinks are single-threaded by contract — the Tracer serializes every
+// write() under its mutex and preserves per-thread event order (events of
+// one thread arrive in emit order; events of different threads may
+// interleave at drain granularity).
+//
+// Formats:
+//  * MemorySink      — in-memory vector, for tests.
+//  * JsonlSink       — one JSON object per line; the pbse-trace CLI and the
+//                      CI format check consume this.
+//  * ChromeTraceSink — Chrome trace_event JSON ({"traceEvents":[...]}),
+//                      loadable in chrome://tracing and Perfetto. Virtual
+//                      ticks are exported as microseconds; campaigns map to
+//                      pids so each campaign gets its own timeline.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.h"
+
+namespace pbse::obs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  /// Called once per event, serialized by the Tracer.
+  virtual void write(const TraceEvent& e) = 0;
+  /// Called exactly once, after the final write.
+  virtual void finish() {}
+};
+
+class MemorySink final : public TraceSink {
+ public:
+  void write(const TraceEvent& e) override { events_.push_back(e); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+class JsonlSink final : public TraceSink {
+ public:
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink() override;
+  void write(const TraceEvent& e) override;
+  void finish() override;
+  bool ok() const { return f_ != nullptr; }
+
+ private:
+  std::FILE* f_ = nullptr;
+};
+
+class ChromeTraceSink final : public TraceSink {
+ public:
+  explicit ChromeTraceSink(const std::string& path);
+  ~ChromeTraceSink() override;
+  void write(const TraceEvent& e) override;
+  void finish() override;
+  bool ok() const { return f_ != nullptr; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  bool first_ = true;
+};
+
+/// Sink for `--trace=<path>`: Chrome format when the path ends in ".json",
+/// JSONL otherwise (the conventional extension is ".jsonl").
+std::unique_ptr<TraceSink> make_file_sink(const std::string& path);
+
+}  // namespace pbse::obs

@@ -1,0 +1,108 @@
+#include "obs/trace.h"
+
+#include <cstdlib>
+
+namespace pbse::obs {
+
+namespace {
+thread_local std::uint32_t tls_campaign = 0;
+}  // namespace
+
+thread_local Tracer::ThreadBuf* Tracer::tls_buf_ = nullptr;
+
+Tracer& Tracer::instance() {
+  // Leaked: threads may emit (cheaply hitting the disabled check) during
+  // static destruction; a destructed singleton would be a use-after-free.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+std::atomic<bool>& Tracer::enabled_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+void Tracer::start(std::unique_ptr<TraceSink> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Drop events buffered after the previous session's stop() (a producer
+  // may have raced the disable flag): they belong to no session.
+  for (auto& buf : bufs_) {
+    scratch_.clear();
+    buf->ring.pop_all(scratch_);
+  }
+  scratch_.clear();
+  sink_ = std::move(sink);
+  enabled_flag().store(true, std::memory_order_release);
+}
+
+std::unique_ptr<TraceSink> Tracer::stop() {
+  enabled_flag().store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buf : bufs_) drain_locked(*buf);
+  if (sink_ != nullptr) sink_->finish();
+  return std::move(sink_);
+}
+
+void Tracer::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buf : bufs_) drain_locked(*buf);
+}
+
+void Tracer::drain_locked(ThreadBuf& buf) {
+  scratch_.clear();
+  buf.ring.pop_all(scratch_);
+  if (sink_ == nullptr) return;
+  for (const TraceEvent& e : scratch_) sink_->write(e);
+}
+
+Tracer::ThreadBuf& Tracer::local_buf() {
+  if (tls_buf_ == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    bufs_.push_back(std::make_unique<ThreadBuf>());
+    bufs_.back()->tid = static_cast<std::uint32_t>(bufs_.size() - 1);
+    tls_buf_ = bufs_.back().get();
+  }
+  return *tls_buf_;
+}
+
+void Tracer::emit(Category cat, EventPhase phase, MetricId name,
+                  std::uint64_t ticks, std::uint64_t a0, MetricId arg0,
+                  std::uint64_t a1, MetricId arg1) {
+  ThreadBuf& buf = local_buf();
+  TraceEvent e;
+  e.ticks = ticks;
+  e.a0 = a0;
+  e.a1 = a1;
+  e.name = name;
+  e.arg0 = arg0;
+  e.arg1 = arg1;
+  e.campaign = tls_campaign;
+  e.tid = buf.tid;
+  e.phase = phase;
+  e.category = cat;
+  while (!buf.ring.try_push(e)) {
+    // Ring full: drain our own ring into the sink (cold path). The caller
+    // is the only producer, so after one drain the push must succeed.
+    std::lock_guard<std::mutex> lock(mu_);
+    drain_locked(buf);
+  }
+}
+
+void Tracer::set_campaign(std::uint32_t id) { tls_campaign = id; }
+std::uint32_t Tracer::campaign() { return tls_campaign; }
+
+void start_tracing_to_file(const std::string& path) {
+  Tracer::instance().start(make_file_sink(path));
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit(&stop_tracing);
+  }
+}
+
+void stop_tracing() {
+  if (!Tracer::enabled()) return;
+  Tracer::instance().stop();
+}
+
+}  // namespace pbse::obs

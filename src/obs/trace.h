@@ -1,0 +1,143 @@
+// The Tracer: engine-wide trace-event collection.
+//
+// Design (see DESIGN.md §8):
+//  * One process-wide Tracer. Each emitting thread lazily registers a
+//    private lock-free EventRing; emit() pushes into the caller's own ring
+//    — no cross-thread synchronization on the hot path.
+//  * The DISABLED path is a single relaxed load + branch (Tracer::enabled()
+//    is checked inline in the trace_* helpers before any argument work), so
+//    instrumentation can live inside the VM hot loop. Tracing never touches
+//    the virtual clock: campaign results are tick-for-tick identical with
+//    tracing on or off (tests/trace_determinism_test.cc locks this in).
+//  * Draining: Tracer::flush() (and stop()) pops every ring into the sink
+//    under one mutex; a producer whose ring fills up drains its own ring
+//    the same way. Per-thread event order is therefore preserved end to
+//    end, and every event reaches the sink exactly once.
+//  * Campaign attribution: ParallelCampaignRunner (and anything else that
+//    multiplexes campaigns onto threads) brackets campaign bodies with a
+//    CampaignScope, which sets the thread-local campaign id stamped into
+//    every event.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/ring_buffer.h"
+#include "obs/sink.h"
+#include "obs/trace_event.h"
+
+namespace pbse::obs {
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// The one check on every disabled-path instrumentation site.
+  static bool enabled() {
+    return enabled_flag().load(std::memory_order_relaxed);
+  }
+
+  /// Installs `sink`, discards any stale buffered events, and enables
+  /// tracing. Replaces a previously installed sink (without finish()ing
+  /// it — call stop() first for a clean handover).
+  void start(std::unique_ptr<TraceSink> sink);
+
+  /// Disables tracing, drains every thread buffer, finish()es the sink and
+  /// returns it (so tests can take their MemorySink back). Idempotent.
+  std::unique_ptr<TraceSink> stop();
+
+  /// Drains every thread buffer into the sink without stopping.
+  void flush();
+
+  /// Emits one event into the calling thread's ring (tracing must be
+  /// enabled; callers go through the inline trace_* helpers below).
+  void emit(Category cat, EventPhase phase, MetricId name, std::uint64_t ticks,
+            std::uint64_t a0 = 0, MetricId arg0 = kInvalidMetric,
+            std::uint64_t a1 = 0, MetricId arg1 = kInvalidMetric);
+
+  /// Thread-local campaign id stamped into events emitted by this thread.
+  static void set_campaign(std::uint32_t id);
+  static std::uint32_t campaign();
+
+ private:
+  struct ThreadBuf {
+    EventRing ring{4096};
+    std::uint32_t tid = 0;
+  };
+
+  Tracer() = default;
+  static std::atomic<bool>& enabled_flag();
+  static thread_local ThreadBuf* tls_buf_;
+  ThreadBuf& local_buf();
+  /// Pops `buf` into the sink; caller must hold mu_.
+  void drain_locked(ThreadBuf& buf);
+
+  std::mutex mu_;  // guards bufs_ registration, sink_, and all draining
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+  std::unique_ptr<TraceSink> sink_;
+  std::vector<TraceEvent> scratch_;
+};
+
+/// Sets the calling thread's campaign id for its lifetime, restoring the
+/// previous id on destruction.
+class CampaignScope {
+ public:
+  explicit CampaignScope(std::uint32_t id)
+      : prev_(Tracer::campaign()) {
+    Tracer::set_campaign(id);
+  }
+  ~CampaignScope() { Tracer::set_campaign(prev_); }
+  CampaignScope(const CampaignScope&) = delete;
+  CampaignScope& operator=(const CampaignScope&) = delete;
+
+ private:
+  std::uint32_t prev_;
+};
+
+// --- Instrumentation hooks ---------------------------------------------------
+// Each compiles to `load flag; branch` when tracing is off; argument
+// evaluation is behind the branch.
+
+inline void trace_instant(Category cat, MetricId name, std::uint64_t ticks,
+                          std::uint64_t a0 = 0, MetricId arg0 = kInvalidMetric,
+                          std::uint64_t a1 = 0,
+                          MetricId arg1 = kInvalidMetric) {
+  if (!Tracer::enabled()) return;
+  Tracer::instance().emit(cat, EventPhase::kInstant, name, ticks, a0, arg0, a1,
+                          arg1);
+}
+
+inline void trace_begin(Category cat, MetricId name, std::uint64_t ticks,
+                        std::uint64_t a0 = 0, MetricId arg0 = kInvalidMetric,
+                        std::uint64_t a1 = 0, MetricId arg1 = kInvalidMetric) {
+  if (!Tracer::enabled()) return;
+  Tracer::instance().emit(cat, EventPhase::kBegin, name, ticks, a0, arg0, a1,
+                          arg1);
+}
+
+inline void trace_end(Category cat, MetricId name, std::uint64_t ticks,
+                      std::uint64_t a0 = 0, MetricId arg0 = kInvalidMetric,
+                      std::uint64_t a1 = 0, MetricId arg1 = kInvalidMetric) {
+  if (!Tracer::enabled()) return;
+  Tracer::instance().emit(cat, EventPhase::kEnd, name, ticks, a0, arg0, a1,
+                          arg1);
+}
+
+inline void trace_counter(Category cat, MetricId name, std::uint64_t ticks,
+                          std::uint64_t value, MetricId arg = kInvalidMetric) {
+  if (!Tracer::enabled()) return;
+  Tracer::instance().emit(cat, EventPhase::kCounter, name, ticks, value, arg);
+}
+
+/// Starts tracing into `path` (format chosen by extension, see
+/// make_file_sink) and registers an atexit stop so the trace is complete
+/// even when the caller exits without an explicit stop.
+void start_tracing_to_file(const std::string& path);
+
+/// Plain-function stop (atexit-compatible). Idempotent.
+void stop_tracing();
+
+}  // namespace pbse::obs

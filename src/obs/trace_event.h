@@ -1,0 +1,64 @@
+// The structured trace-event model.
+//
+// A TraceEvent is a small POD — 48 bytes, trivially copyable — so it can
+// move through the per-thread lock-free ring buffers (ring_buffer.h)
+// without allocation. Strings never appear in events: the event name and
+// argument names are interned MetricIds (metrics.h), resolved back to text
+// only at sink-write time.
+//
+// Event phases mirror the Chrome trace_event model: instants mark a point
+// in virtual time, Begin/End pairs bracket a duration on one thread (they
+// nest per thread), counters sample a value.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace pbse::obs {
+
+enum class EventPhase : std::uint8_t {
+  kInstant = 0,
+  kBegin,
+  kEnd,
+  kCounter,
+};
+
+/// Which subsystem emitted the event. Doubles as the Chrome trace "cat".
+enum class Category : std::uint8_t {
+  kVm = 0,       // interpreter: coverage, forks, bugs, terminations
+  kConcolic,     // Algorithm 2: seed run, BBV intervals, seedStates
+  kSolver,       // query begin/end, cache hit/miss
+  kPhase,        // phase division: clusters, trap detection
+  kSched,        // Algorithm 3: turns, retires, activations
+  kCampaign,     // campaign begin/end (parallel runner)
+  kOther,
+  kNumCategories,
+};
+
+const char* category_name(Category c);
+bool parse_category(std::string_view name, Category& out);
+
+struct TraceEvent {
+  /// Virtual-clock tick of the emitting campaign (the trace timestamp).
+  std::uint64_t ticks = 0;
+  /// Up to two typed payload values; meaningful iff arg0/arg1 are valid.
+  std::uint64_t a0 = 0;
+  std::uint64_t a1 = 0;
+  /// Interned event name.
+  MetricId name = 0;
+  /// Interned argument names; kInvalidMetric marks "no argument".
+  MetricId arg0 = kInvalidMetric;
+  MetricId arg1 = kInvalidMetric;
+  /// Campaign index (ParallelCampaignRunner slot; 0 outside campaigns).
+  std::uint32_t campaign = 0;
+  /// Tracer thread index (registration order, not an OS tid).
+  std::uint32_t tid = 0;
+  EventPhase phase = EventPhase::kInstant;
+  Category category = Category::kOther;
+};
+
+static_assert(sizeof(TraceEvent) <= 64, "TraceEvent must stay cache-line sized");
+
+}  // namespace pbse::obs

@@ -3,11 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.h"
 #include "phase/kmeans.h"
 
 namespace pbse::phase {
 
 namespace {
+
+struct PhaseIds {
+  obs::MetricId ev_cluster = obs::intern_metric("phase_cluster");
+  obs::MetricId ev_trap = obs::intern_metric("trap_detected");
+  obs::MetricId arg_phase = obs::intern_metric("phase");
+  obs::MetricId arg_intervals = obs::intern_metric("intervals");
+  obs::MetricId arg_run = obs::intern_metric("run");
+};
+
+const PhaseIds& ids() {
+  static const PhaseIds p;
+  return p;
+}
 
 /// Longest run of contiguous interval indices assigned to cluster `c`.
 std::uint32_t longest_contiguous_run(const std::vector<std::uint32_t>& assignment,
@@ -107,6 +121,16 @@ PhaseAnalysisResult analyze_phases(const std::vector<concolic::BBV>& bbvs,
     phases[p].id = p;
     for (std::uint32_t i : phases[p].intervals) new_id_of_interval[i] = p;
     if (phases[p].is_trap) ++result.num_trap_phases;
+  }
+  // Each phase's cluster assignment is stamped at the gather time of its
+  // first BBV, so the trace timeline shows phases in discovery order.
+  for (const Phase& p : phases) {
+    obs::trace_instant(obs::Category::kPhase, ids().ev_cluster, p.first_ticks,
+                       p.id, ids().arg_phase, p.intervals.size(),
+                       ids().arg_intervals);
+    if (p.is_trap)
+      obs::trace_instant(obs::Category::kPhase, ids().ev_trap, p.first_ticks,
+                         p.id, ids().arg_phase, p.longest_run, ids().arg_run);
   }
   result.phases = std::move(phases);
   result.interval_phase = std::move(new_id_of_interval);

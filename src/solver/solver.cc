@@ -1,5 +1,6 @@
 #include "solver/solver.h"
 
+#include "obs/trace.h"
 #include "solver/independence.h"
 #include "solver/interval.h"
 #include "solver/search_solver.h"
@@ -8,6 +9,43 @@
 namespace pbse {
 
 namespace {
+
+/// Counter / event names interned once — the hot path pays an indexed add,
+/// never a string hash (see stats.h).
+struct SolverIds {
+  obs::MetricId queries = obs::intern_metric("solver.queries");
+  obs::MetricId solve_all = obs::intern_metric("solver.solve_all");
+  obs::MetricId hint_hits = obs::intern_metric("solver.hint_hits");
+  obs::MetricId zero_hits = obs::intern_metric("solver.zero_hits");
+  obs::MetricId cache_hits = obs::intern_metric("solver.cache_hits");
+  obs::MetricId shared_cache_hits =
+      obs::intern_metric("solver.shared_cache_hits");
+  obs::MetricId propagation_unsat =
+      obs::intern_metric("solver.propagation_unsat");
+  obs::MetricId search_full_pass =
+      obs::intern_metric("solver.search_full_pass");
+  obs::MetricId search_restarts = obs::intern_metric("solver.search_restarts");
+  obs::MetricId search_sat = obs::intern_metric("solver.search_sat");
+  obs::MetricId search_unsat = obs::intern_metric("solver.search_unsat");
+  obs::MetricId search_unknown = obs::intern_metric("solver.search_unknown");
+  obs::MetricId deferred_eqs = obs::intern_metric("solver.deferred_eqs");
+  obs::MetricId deferred_fallback =
+      obs::intern_metric("solver.deferred_fallback");
+  /// Log2 histogram: virtual ticks charged per top-level query.
+  obs::MetricId query_ticks = obs::intern_metric("solver.query_ticks");
+  // Trace event / argument names.
+  obs::MetricId ev_query = obs::intern_metric("query");
+  obs::MetricId ev_solve_all = obs::intern_metric("solve_all");
+  obs::MetricId ev_cache_hit = obs::intern_metric("cache_hit");
+  obs::MetricId ev_shared_cache_hit = obs::intern_metric("shared_cache_hit");
+  obs::MetricId arg_constraints = obs::intern_metric("constraints");
+  obs::MetricId arg_result = obs::intern_metric("result");
+};
+
+const SolverIds& ids() {
+  static const SolverIds s;
+  return s;
+}
 
 /// Order-insensitive cache key over a constraint list.
 std::uint64_t cache_key(const std::vector<ExprRef>& constraints) {
@@ -136,7 +174,7 @@ SolverResult Solver::solve_list(const std::vector<ExprRef>& constraints,
                                 Assignment* model, const HintRef& hint) {
   std::vector<ExprRef> remaining = constraints;
   const std::vector<DeferredEquality> deferred = extract_deferred(remaining);
-  if (!deferred.empty()) stats_.add("solver.deferred_eqs", deferred.size());
+  if (!deferred.empty()) stats_.add(ids().deferred_eqs, deferred.size());
 
   const SolverResult result = solve_core(remaining, model, hint);
   if (result != SolverResult::kSat || deferred.empty()) return result;
@@ -156,7 +194,7 @@ SolverResult Solver::solve_list(const std::vector<ExprRef>& constraints,
   for (const auto& d : deferred) {
     clock_.advance(expr_cost(d.constraint));
     if (!evaluate_bool(d.constraint, *model)) {
-      stats_.add("solver.deferred_fallback");
+      stats_.add(ids().deferred_fallback);
       return solve_core(constraints, model, hint);
     }
   }
@@ -174,7 +212,7 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
   // Evaluations are memoized per hint across queries.
   if (hint != nullptr && satisfies_all(constraints, hint_evaluator(hint), evals)) {
     charge(evals);
-    stats_.add("solver.hint_hits");
+    stats_.add(ids().hint_hits);
     copy_into(*hint, model, constraints);
     return SolverResult::kSat;
   }
@@ -183,7 +221,7 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
   if (satisfies_all(constraints, zeros_evaluator(), evals)) {
     charge(evals);
     Assignment zeros;
-    stats_.add("solver.zero_hits");
+    stats_.add(ids().zero_hits);
     copy_into(zeros, model, constraints);
     return SolverResult::kSat;
   }
@@ -191,7 +229,9 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
   const std::uint64_t key = cache_key(constraints);
   if (options_.use_cache) {
     if (const QueryCache::Entry* hit = cache_.lookup(key, constraints)) {
-      stats_.add("solver.cache_hits");
+      stats_.add(ids().cache_hits);
+      obs::trace_instant(obs::Category::kSolver, ids().ev_cache_hit,
+                         clock_.now());
       if (hit->result == SolverResult::kSat && model != nullptr) {
         Assignment cached;
         for (const auto& [array, bytes] : hit->model) cached.set(array, bytes);
@@ -203,7 +243,9 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
     // (already remapped onto this campaign's arrays by lookup()).
     if (options_.shared_cache != nullptr) {
       if (auto hit = options_.shared_cache->lookup(key, constraints)) {
-        stats_.add("solver.shared_cache_hits");
+        stats_.add(ids().shared_cache_hits);
+        obs::trace_instant(obs::Category::kSolver, ids().ev_shared_cache_hit,
+                           clock_.now());
         const SolverResult shared_result = hit->result;
         if (shared_result == SolverResult::kSat && model != nullptr) {
           Assignment cached;
@@ -221,7 +263,7 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
   DomainMap domains;
   if (!propagate_domains(constraints, domains, evals)) {
     charge(evals);
-    stats_.add("solver.propagation_unsat");
+    stats_.add(ids().propagation_unsat);
     if (options_.use_cache) {
       cache_.insert(key, QueryCache::Entry{SolverResult::kUnsat, {}});
       if (options_.shared_cache != nullptr)
@@ -247,14 +289,14 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
       found);
   if (result == SolverResult::kUnsat) result = SolverResult::kUnknown;
   if (result == SolverResult::kUnknown) {
-    stats_.add("solver.search_full_pass");
+    stats_.add(ids().search_full_pass);
     result = backtracking_search(constraints, domains, hint_raw,
                                  /*hint_first=*/true, /*candidate_cap=*/0,
                                  options_.max_search_nodes / 2,
                                  options_.max_search_evals / 2, evals, found);
   }
   if (result == SolverResult::kUnknown && hint != nullptr) {
-    stats_.add("solver.search_restarts");
+    stats_.add(ids().search_restarts);
     result = backtracking_search(constraints, domains, hint_raw,
                                  /*hint_first=*/false, /*candidate_cap=*/0,
                                  options_.max_search_nodes / 4,
@@ -264,7 +306,7 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
 
   switch (result) {
     case SolverResult::kSat: {
-      stats_.add("solver.search_sat");
+      stats_.add(ids().search_sat);
       copy_into(found, model, constraints);
       if (options_.use_cache) {
         QueryCache::Entry entry;
@@ -287,7 +329,7 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
       return SolverResult::kSat;
     }
     case SolverResult::kUnsat:
-      stats_.add("solver.search_unsat");
+      stats_.add(ids().search_unsat);
       if (options_.use_cache) {
         cache_.insert(key, QueryCache::Entry{SolverResult::kUnsat, {}});
         if (options_.shared_cache != nullptr)
@@ -296,7 +338,7 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
       }
       return SolverResult::kUnsat;
     case SolverResult::kUnknown:
-      stats_.add("solver.search_unknown");
+      stats_.add(ids().search_unknown);
       if (log_level() >= LogLevel::kDebug) {
         PBSE_LOG_DEBUG << "solver unknown over " << constraints.size()
                        << " constraints:";
@@ -312,7 +354,7 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
 
 SolverResult Solver::check_sat(const ConstraintSet& cs, const ExprRef& query,
                                Assignment* model, const HintRef& hint) {
-  stats_.add("solver.queries");
+  stats_.add(ids().queries);
 
   if (query->is_false()) return SolverResult::kUnsat;
 
@@ -324,13 +366,29 @@ SolverResult Solver::check_sat(const ConstraintSet& cs, const ExprRef& query,
   }
   if (!query->is_true()) sliced.push_back(query);
 
-  return solve_list(sliced, model, hint);
+  const std::uint64_t t0 = clock_.now();
+  obs::trace_begin(obs::Category::kSolver, ids().ev_query, t0, sliced.size(),
+                   ids().arg_constraints);
+  const SolverResult result = solve_list(sliced, model, hint);
+  const std::uint64_t t1 = clock_.now();
+  stats_.observe(ids().query_ticks, t1 - t0);
+  obs::trace_end(obs::Category::kSolver, ids().ev_query, t1,
+                 static_cast<std::uint64_t>(result), ids().arg_result);
+  return result;
 }
 
 SolverResult Solver::solve_all(const ConstraintSet& cs, Assignment* model,
                                const HintRef& hint) {
-  stats_.add("solver.solve_all");
-  return solve_list(cs.constraints(), model, hint);
+  stats_.add(ids().solve_all);
+  const std::uint64_t t0 = clock_.now();
+  obs::trace_begin(obs::Category::kSolver, ids().ev_solve_all, t0,
+                   cs.constraints().size(), ids().arg_constraints);
+  const SolverResult result = solve_list(cs.constraints(), model, hint);
+  const std::uint64_t t1 = clock_.now();
+  stats_.observe(ids().query_ticks, t1 - t0);
+  obs::trace_end(obs::Category::kSolver, ids().ev_solve_all, t1,
+                 static_cast<std::uint64_t>(result), ids().arg_result);
+  return result;
 }
 
 std::optional<std::uint64_t> Solver::get_value(const ConstraintSet& cs,

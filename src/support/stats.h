@@ -1,33 +1,89 @@
 // Lightweight named-counter registry used across the engine for
 // introspection (queries issued, cache hits, forks, states killed, ...).
+//
+// Since the observability subsystem landed, Stats is a thin string-keyed
+// facade over obs::MetricStore: names are interned once into the global
+// metric registry and the per-campaign storage is a vector indexed by
+// MetricId. Hot paths intern their names up front (see e.g. the id structs
+// in solver.cc / executor.cc) and call the MetricId overloads — a bounds
+// check and an indexed add, no string hashing per increment. The string
+// overloads remain for cold paths and tests.
+//
+// ORDERING CONTRACT: all() returns counters sorted by name (std::map), so
+// any output derived from iterating it — bench tables, JSONL exports,
+// golden files — is reproducible run to run. Locked in by
+// support_test.cc:StatsIterationOrderIsSortedByName; do not weaken this to
+// an unordered container.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace pbse {
 
-/// A bag of named monotonic counters. Cheap enough to pass by reference
-/// everywhere; not thread-safe (each campaign owns its own Stats and runs
-/// on one thread — merge with `merge()` after the campaigns join).
+/// A bag of named monotonic counters and log2 histograms. Cheap enough to
+/// pass by reference everywhere; not thread-safe (each campaign owns its
+/// own Stats and runs on one thread — merge with `merge()` after the
+/// campaigns join).
 class Stats {
  public:
-  void add(const std::string& name, std::uint64_t n = 1) { counters_[name] += n; }
-  std::uint64_t get(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+  // --- Counters -----------------------------------------------------------
+  void add(const std::string& name, std::uint64_t n = 1) {
+    store_.add(obs::intern_metric(name), n);
   }
-  const std::map<std::string, std::uint64_t>& all() const { return counters_; }
-  void clear() { counters_.clear(); }
+  void add(obs::MetricId id, std::uint64_t n = 1) { store_.add(id, n); }
 
-  /// Adds every counter of `other` into this bag (campaign aggregation).
-  void merge(const Stats& other) {
-    for (const auto& [name, n] : other.all()) counters_[name] += n;
+  std::uint64_t get(const std::string& name) const {
+    const obs::MetricId id = obs::find_metric(name);
+    return id == obs::kInvalidMetric ? 0 : store_.counter(id);
   }
+  std::uint64_t get(obs::MetricId id) const { return store_.counter(id); }
+
+  /// Snapshot of every nonzero counter, SORTED BY NAME (see the ordering
+  /// contract above).
+  std::map<std::string, std::uint64_t> all() const {
+    std::map<std::string, std::uint64_t> out;
+    store_.visit_counters([&out](obs::MetricId id, std::uint64_t n) {
+      out.emplace(obs::metric_name(id), n);
+    });
+    return out;
+  }
+
+  // --- Histograms ---------------------------------------------------------
+  void observe(obs::MetricId id, std::uint64_t value) {
+    store_.observe(id, value);
+  }
+  void observe(const std::string& name, std::uint64_t value) {
+    store_.observe(obs::intern_metric(name), value);
+  }
+  /// nullptr when nothing was observed under that name.
+  const obs::Histogram* histogram(const std::string& name) const {
+    const obs::MetricId id = obs::find_metric(name);
+    return id == obs::kInvalidMetric ? nullptr : store_.histogram(id);
+  }
+
+  /// Every histogram, sorted by name.
+  std::map<std::string, const obs::Histogram*> histograms() const {
+    std::map<std::string, const obs::Histogram*> out;
+    store_.visit_histograms([&out](obs::MetricId id, const obs::Histogram& h) {
+      out.emplace(obs::metric_name(id), &h);
+    });
+    return out;
+  }
+
+  void clear() { store_.clear(); }
+
+  /// Adds every counter and histogram of `other` into this bag (campaign
+  /// aggregation).
+  void merge(const Stats& other) { store_.merge(other.store_); }
+
+  const obs::MetricStore& store() const { return store_; }
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  obs::MetricStore store_;
 };
 
 }  // namespace pbse

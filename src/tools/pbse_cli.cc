@@ -25,6 +25,7 @@
 
 #include "concolic/concolic_executor.h"
 #include "core/driver.h"
+#include "obs/trace.h"
 #include "core/parallel.h"
 #include "phase/phase_analysis.h"
 #include "targets/targets.h"
@@ -42,6 +43,7 @@ struct Args {
   unsigned seed_scale = 6;
   unsigned jobs = 1;
   bool share_cache = true;
+  std::string trace_path;
 };
 
 int usage() {
@@ -54,7 +56,11 @@ int usage() {
                "  --budget=T     tick budget (default 1000000)\n"
                "  --seed-scale=K seed generator scale (default 6)\n"
                "  --jobs=N       worker threads for multi-target campaigns\n"
-               "  --no-share-cache  per-campaign private solver caches\n");
+               "  --no-share-cache  per-campaign private solver caches\n"
+               "  --target=NAME  alternative to the positional <target>\n"
+               "  --trace=PATH   capture a trace (.json -> Chrome "
+               "trace_event,\n"
+               "                 anything else -> JSONL; see pbse-trace)\n");
   return 2;
 }
 
@@ -62,8 +68,8 @@ bool parse_args(int argc, char** argv, Args& args) {
   if (argc < 2) return false;
   args.command = argv[1];
   int pos = 2;
-  if (args.command != "list") {
-    if (argc < 3) return false;
+  if (args.command != "list" && argc >= 3 &&
+      std::strncmp(argv[2], "--", 2) != 0) {
     args.target = argv[2];
     pos = 3;
   }
@@ -84,12 +90,17 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (const char* v = value_of("--jobs=")) {
       args.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
       if (args.jobs == 0) args.jobs = 1;
+    } else if (const char* v = value_of("--target=")) {
+      args.target = v;
+    } else if (const char* v = value_of("--trace=")) {
+      args.trace_path = v;
     } else if (arg == "--no-share-cache") {
       args.share_cache = false;
     } else {
       return false;
     }
   }
+  if (args.command != "list" && args.target.empty()) return false;
   return true;
 }
 
@@ -311,10 +322,15 @@ int cmd_phases(const Args& args) {
 int main(int argc, char** argv) {
   Args args;
   if (!parse_args(argc, argv, args)) return usage();
-  if (args.command == "list") return cmd_list();
-  if (args.command == "klee") return cmd_klee(args);
-  if (args.command == "run") return cmd_run(args);
-  if (args.command == "concolic") return cmd_concolic(args);
-  if (args.command == "phases") return cmd_phases(args);
-  return usage();
+  if (!args.trace_path.empty())
+    pbse::obs::start_tracing_to_file(args.trace_path);
+  int rc = 2;
+  if (args.command == "list") rc = cmd_list();
+  else if (args.command == "klee") rc = cmd_klee(args);
+  else if (args.command == "run") rc = cmd_run(args);
+  else if (args.command == "concolic") rc = cmd_concolic(args);
+  else if (args.command == "phases") rc = cmd_phases(args);
+  else return usage();
+  pbse::obs::stop_tracing();
+  return rc;
 }

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/trace.h"
 #include "support/log.h"
 
 namespace pbse::vm {
@@ -9,6 +10,60 @@ namespace pbse::vm {
 namespace {
 
 ir::BinOp bin_of(const ir::Instruction& inst) { return inst.bin; }
+
+/// Interned counter / trace-event names for the VM hot loop (see stats.h).
+struct VmIds {
+  obs::MetricId unique_bugs = obs::intern_metric("executor.unique_bugs");
+  obs::MetricId duplicate_bugs = obs::intern_metric("executor.duplicate_bugs");
+  obs::MetricId term_exit = obs::intern_metric("executor.term_exit");
+  obs::MetricId term_bug = obs::intern_metric("executor.term_bug");
+  obs::MetricId term_infeasible =
+      obs::intern_metric("executor.term_infeasible");
+  obs::MetricId term_recursion = obs::intern_metric("executor.term_recursion");
+  obs::MetricId term_insts = obs::intern_metric("executor.term_insts");
+  obs::MetricId concolic_offpath_bugs =
+      obs::intern_metric("executor.concolic_offpath_bugs");
+  obs::MetricId offpath_bugs = obs::intern_metric("executor.offpath_bugs");
+  obs::MetricId concretized_offsets =
+      obs::intern_metric("executor.concretized_offsets");
+  obs::MetricId symbolic_branches =
+      obs::intern_metric("concolic.symbolic_branches");
+  obs::MetricId seed_states = obs::intern_metric("concolic.seed_states");
+  obs::MetricId seed_states_deduped =
+      obs::intern_metric("concolic.seed_states_deduped");
+  obs::MetricId forks = obs::intern_metric("executor.forks");
+  obs::MetricId fork_unknown = obs::intern_metric("executor.fork_unknown");
+  obs::MetricId fork_unsat = obs::intern_metric("executor.fork_unsat");
+  obs::MetricId fork_suppressed =
+      obs::intern_metric("executor.fork_suppressed");
+  obs::MetricId recursion_limit =
+      obs::intern_metric("executor.recursion_limit");
+  obs::MetricId seedstate_unsat =
+      obs::intern_metric("executor.seedstate_unsat");
+  obs::MetricId seedstate_unknown =
+      obs::intern_metric("executor.seedstate_unknown");
+  obs::MetricId seedstate_repaired =
+      obs::intern_metric("executor.seedstate_repaired");
+  obs::MetricId out_calls = obs::intern_metric("executor.out_calls");
+  obs::MetricId unreachable = obs::intern_metric("executor.unreachable");
+  // Trace event / argument names.
+  obs::MetricId ev_new_cover = obs::intern_metric("new_cover");
+  obs::MetricId ev_bug = obs::intern_metric("bug");
+  obs::MetricId ev_terminate = obs::intern_metric("terminate");
+  obs::MetricId ev_fork = obs::intern_metric("fork");
+  obs::MetricId ev_seed_state = obs::intern_metric("seed_state");
+  obs::MetricId arg_bb = obs::intern_metric("bb");
+  obs::MetricId arg_total = obs::intern_metric("total");
+  obs::MetricId arg_kind = obs::intern_metric("kind");
+  obs::MetricId arg_reason = obs::intern_metric("reason");
+  obs::MetricId arg_insts = obs::intern_metric("insts");
+  obs::MetricId arg_state = obs::intern_metric("state");
+};
+
+const VmIds& ids() {
+  static const VmIds v;
+  return v;
+}
 
 }  // namespace
 
@@ -113,6 +168,8 @@ void Executor::record_coverage(ExecutionState& state) {
     ++coverage_epoch_;
     coverage_log_.push_back(CoverEvent{clock_.now(), gid});
     state.covered_new = true;
+    obs::trace_instant(obs::Category::kVm, ids().ev_new_cover, clock_.now(),
+                       gid, ids().arg_bb, num_covered_, ids().arg_total);
   }
   if (on_block_entered) on_block_entered(state, gid);
 }
@@ -140,27 +197,33 @@ void Executor::report_bug(ExecutionState& state, BugKind kind,
   report.state_id = state.id;
   report.input = extract_input(witness);
   if (bug_sites_.insert(report.site_key()).second) {
-    stats_.add("executor.unique_bugs");
+    stats_.add(ids().unique_bugs);
+    obs::trace_instant(obs::Category::kVm, ids().ev_bug, clock_.now(),
+                       report.global_bb, ids().arg_bb,
+                       static_cast<std::uint64_t>(kind), ids().arg_kind);
     bugs_.push_back(std::move(report));
   } else {
-    stats_.add("executor.duplicate_bugs");
+    stats_.add(ids().duplicate_bugs);
   }
 }
 
 void Executor::terminate(ExecutionState& state, TerminationReason reason) {
   state.termination = reason;
   switch (reason) {
-    case TerminationReason::kExit: stats_.add("executor.term_exit"); break;
-    case TerminationReason::kBug: stats_.add("executor.term_bug"); break;
+    case TerminationReason::kExit: stats_.add(ids().term_exit); break;
+    case TerminationReason::kBug: stats_.add(ids().term_bug); break;
     case TerminationReason::kInfeasible:
-      stats_.add("executor.term_infeasible");
+      stats_.add(ids().term_infeasible);
       break;
     case TerminationReason::kRecursionLimit:
-      stats_.add("executor.term_recursion");
+      stats_.add(ids().term_recursion);
       break;
     default: break;
   }
-  stats_.add("executor.term_insts", state.instructions);
+  stats_.add(ids().term_insts, state.instructions);
+  obs::trace_instant(obs::Category::kVm, ids().ev_terminate, clock_.now(),
+                     static_cast<std::uint64_t>(reason), ids().arg_reason,
+                     state.instructions, ids().arg_insts);
   if (live_states_ > 0) --live_states_;
 }
 
@@ -200,7 +263,7 @@ bool Executor::guard(ExecutionState& state, const ExprRef& error_cond,
       if (solver_.check_sat(state.constraints, error_cond, &witness,
                             ctx->seed) == SolverResult::kSat) {
         report_bug(state, kind, message, witness);
-        stats_.add("executor.concolic_offpath_bugs");
+        stats_.add(ids().concolic_offpath_bugs);
       }
     }
     state.constraints.add(mk_lnot(error_cond));
@@ -235,7 +298,7 @@ bool Executor::guard(ExecutionState& state, const ExprRef& error_cond,
   if (solver_.check_sat(state.constraints, error_cond, &witness,
                         state.model) == SolverResult::kSat) {
     report_bug(state, kind, message, witness);
-    stats_.add("executor.offpath_bugs");
+    stats_.add(ids().offpath_bugs);
   }
   state.constraints.add(ok);
   return true;
@@ -320,7 +383,7 @@ std::optional<Executor::Access> Executor::check_access(ExecutionState& state,
                                 ? ctx->seed_eval->evaluate(ptr.offset)
                                 : eval_model(state, ptr.offset);
   state.constraints.add(mk_eq(ptr.offset, mk_const(off, 64)));
-  stats_.add("executor.concretized_offsets");
+  stats_.add(ids().concretized_offsets);
   assert(off + bytes <= obj->size);
   return Access{ptr.object, off};
 }
@@ -363,7 +426,7 @@ void Executor::execute_branch(
     clock_.advance(1);
     const bool dir = ctx->seed_eval->evaluate_bool(cond);
     const ExprRef taken = dir ? cond : mk_lnot(cond);
-    stats_.add("concolic.symbolic_branches");
+    stats_.add(ids().symbolic_branches);
 
     // Algorithm 2 records one seedState per symbolic branch: the FLIPPED
     // (unexplored) direction only. The seed-following side needs no
@@ -384,12 +447,15 @@ void Executor::execute_branch(
       child->fork_bb = record.fork_bb;
       child->fork_inst = record.fork_inst;
       if (child->constraints.add(mk_lnot(taken))) {
+        obs::trace_instant(obs::Category::kConcolic, ids().ev_seed_state,
+                           clock_.now(), record.fork_bb, ids().arg_bb,
+                           child->id, ids().arg_state);
         record.state = std::shared_ptr<ExecutionState>(std::move(child));
         ctx->fork_records->push_back(std::move(record));
-        stats_.add("concolic.seed_states");
+        stats_.add(ids().seed_states);
       }
     } else {
-      stats_.add("concolic.seed_states_deduped");
+      stats_.add(ids().seed_states_deduped);
     }
 
     state.constraints.add(taken);
@@ -414,19 +480,22 @@ void Executor::execute_branch(
       child->fork_inst = state.frame().inst;
       child->constraints.add(other);
       child->model = std::make_shared<Assignment>(std::move(other_model));
+      obs::trace_instant(obs::Category::kVm, ids().ev_fork, clock_.now(),
+                         state.current_global_bb(), ids().arg_bb, child->id,
+                         ids().arg_state);
       enter_block(*child, dir ? inst.bb_else : inst.bb_then);
       forked->push_back(std::move(child));
       ++live_states_;
-      stats_.add("executor.forks");
+      stats_.add(ids().forks);
     } else if (r == SolverResult::kUnknown) {
-      stats_.add("executor.fork_unknown");
+      stats_.add(ids().fork_unknown);
       PBSE_LOG_DEBUG << "fork unknown in " << state.frame().fn->name()
                      << " line " << inst.line << ": " << other->to_string();
     } else {
-      stats_.add("executor.fork_unsat");
+      stats_.add(ids().fork_unsat);
     }
   } else {
-    stats_.add("executor.fork_suppressed");
+    stats_.add(ids().fork_suppressed);
   }
 
   state.constraints.add(taken);
@@ -482,13 +551,13 @@ bool Executor::validate_model(ExecutionState& state) {
     r = solver_.solve_all(state.constraints, &repaired, state.model);
   }
   if (r != SolverResult::kSat) {
-    stats_.add(r == SolverResult::kUnsat ? "executor.seedstate_unsat"
-                                         : "executor.seedstate_unknown");
+    stats_.add(r == SolverResult::kUnsat ? ids().seedstate_unsat
+                                         : ids().seedstate_unknown);
     terminate(state, TerminationReason::kInfeasible);
     return false;
   }
   state.model = std::make_shared<Assignment>(std::move(repaired));
-  stats_.add("executor.seedstate_repaired");
+  stats_.add(ids().seedstate_repaired);
   return true;
 }
 
@@ -656,7 +725,7 @@ void Executor::execute(ExecutionState& state,
 
     case ir::Opcode::kCall: {
       if (state.stack.size() >= options_.max_call_depth) {
-        stats_.add("executor.recursion_limit");
+        stats_.add(ids().recursion_limit);
         terminate(state, TerminationReason::kRecursionLimit);
         return;
       }
@@ -702,7 +771,7 @@ void Executor::execute(ExecutionState& state,
           if (out_log_.size() < 4096)
             out_log_.push_back(ctx != nullptr ? ctx->seed_eval->evaluate(v)
                                               : eval_model(state, v));
-          stats_.add("executor.out_calls");
+          stats_.add(ids().out_calls);
           break;
         }
         case ir::Intrinsic::kAssert: {
@@ -774,7 +843,7 @@ void Executor::execute(ExecutionState& state,
 
     case ir::Opcode::kUnreachable:
       terminate(state, TerminationReason::kInfeasible);
-      stats_.add("executor.unreachable");
+      stats_.add(ids().unreachable);
       return;
   }
 }

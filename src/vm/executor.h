@@ -114,6 +114,7 @@ class Executor {
 
   const ir::Module& module() const { return module_; }
   Solver& solver() { return solver_; }
+  Stats& stats() { return stats_; }
   const VClock& clock() const { return clock_; }
   const ArrayRef& input_array() const { return input_array_; }
 

@@ -2,6 +2,10 @@
 // and the table renderer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "support/rng.h"
 #include "support/stats.h"
 #include "support/table.h"
@@ -85,6 +89,24 @@ TEST(Stats, CountersAccumulate) {
   EXPECT_EQ(stats.get("missing"), 0u);
   stats.clear();
   EXPECT_EQ(stats.get("a"), 0u);
+}
+
+TEST(Stats, StatsIterationOrderIsSortedByName) {
+  // Locks in the ordering contract documented in stats.h: all() is sorted
+  // by counter name regardless of interning or increment order, so bench
+  // tables and golden files are reproducible.
+  Stats stats;
+  stats.add("zzz.last", 1);
+  stats.add("aaa.first", 2);
+  stats.add("mmm.middle", 3);
+  const auto all = stats.all();
+  std::vector<std::string> names;
+  for (const auto& [name, value] : all) names.push_back(name);
+  std::vector<std::string> sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(names, sorted);
+  EXPECT_EQ(all.at("aaa.first"), 2u);
+  EXPECT_EQ(all.at("zzz.last"), 1u);
 }
 
 TEST(TextTable, RendersAlignedColumns) {

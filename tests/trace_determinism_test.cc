@@ -1,0 +1,98 @@
+// Satellite (a) lock-in: tracing must be a pure observer. A campaign run
+// with tracing enabled must produce tick-for-tick identical results —
+// coverage, bugs, final clock, and every counter — to the same campaign
+// with tracing disabled, because instrumentation never touches the
+// virtual clock or the search order.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/driver.h"
+#include "lang/codegen.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
+
+namespace pbse {
+namespace {
+
+constexpr const char* kPipeline = R"(
+u8 table[4] = { 1, 2, 3, 4 };
+u32 main(u8* f, u32 size) {
+  if (size < 8) { return 1; }
+  if (f[0] != 'P' || f[1] != '1') { return 2; }
+  u32 n = (u32)f[2];
+  u32 sum = 0;
+  for (u32 i = 0; i < n; ++i) {
+    if (3 + i >= size) { return 3; }
+    sum += (u32)f[3 + i];
+  }
+  out(sum);
+  u32 off = 3 + n;
+  u32 records = 0;
+  while (off + 2 <= size) {
+    u32 kind = (u32)f[off];
+    u32 value = (u32)f[off + 1];
+    off += 2;
+    if (kind == 0) { break; }
+    if (kind == 3) {
+      out(table[value]);
+    }
+    records += 1;
+  }
+  out(records);
+  return 0;
+}
+)";
+
+struct RunResult {
+  std::uint64_t covered = 0;
+  std::uint64_t ticks = 0;
+  std::size_t bugs = 0;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+RunResult run_campaign() {
+  ir::Module module;
+  std::string error;
+  EXPECT_TRUE(minic::compile(kPipeline, module, error)) << error;
+  module.finalize();
+  core::PbseDriver driver(module, "main");
+  const std::vector<std::uint8_t> seed = {'P', '1', 3,  10, 20, 30,
+                                          3,   1,   3,  2,  0,  0};
+  EXPECT_TRUE(driver.prepare(seed));
+  driver.run(60000);
+  RunResult r;
+  r.covered = driver.executor().num_covered();
+  r.ticks = driver.clock().now();
+  r.bugs = driver.executor().bugs().size();
+  r.counters = driver.stats().all();
+  return r;
+}
+
+TEST(TraceDeterminism, ResultsIdenticalWithTracingOnAndOff) {
+  const RunResult off = run_campaign();
+
+  obs::Tracer::instance().start(std::make_unique<obs::MemorySink>());
+  const RunResult on = run_campaign();
+  auto sink = obs::Tracer::instance().stop();
+  const auto& events =
+      static_cast<obs::MemorySink*>(sink.get())->events();
+
+  const RunResult off_again = run_campaign();
+
+  // The traced run actually captured the campaign (not a vacuous pass).
+  EXPECT_GT(events.size(), 100u);
+
+  EXPECT_EQ(on.covered, off.covered);
+  EXPECT_EQ(on.ticks, off.ticks);
+  EXPECT_EQ(on.bugs, off.bugs);
+  EXPECT_EQ(on.counters, off.counters);
+
+  // And tracing leaves no residue: a later untraced run is unchanged too.
+  EXPECT_EQ(off_again.ticks, off.ticks);
+  EXPECT_EQ(off_again.counters, off.counters);
+}
+
+}  // namespace
+}  // namespace pbse
