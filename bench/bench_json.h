@@ -52,6 +52,13 @@ inline void write_bench_json(const std::string& path, const std::string& bench,
   const std::uint64_t shared_misses = agg.get("cache.shared_misses");
   const std::uint64_t l1_hits = agg.get("solver.cache_hits");
   const std::uint64_t queries = agg.get("solver.queries");
+  // Incremental-pipeline hit classes (solver.h): queries resolved without
+  // reaching the backtracking search. Deterministic under fixed jobs and
+  // --no-share-cache, so bench_diff.py gates on them.
+  const std::uint64_t partition_hits = agg.get("solver.partition_hits");
+  const std::uint64_t model_reuse = agg.get("solver.model_reuse");
+  const std::uint64_t model_replays = agg.get("solver.model_replays");
+  const std::uint64_t domain_memo_hits = agg.get("solver.domain_memo_hits");
   const double denom = static_cast<double>(shared_hits + shared_misses);
   const double hit_rate = denom > 0 ? shared_hits / denom : 0.0;
 
@@ -78,6 +85,14 @@ inline void write_bench_json(const std::string& path, const std::string& bench,
                static_cast<unsigned long long>(agg.get("cache.shared_entries")));
   std::fprintf(f, "    \"l1_hits\": %llu,\n",
                static_cast<unsigned long long>(l1_hits));
+  std::fprintf(f, "    \"partition_hits\": %llu,\n",
+               static_cast<unsigned long long>(partition_hits));
+  std::fprintf(f, "    \"model_reuse\": %llu,\n",
+               static_cast<unsigned long long>(model_reuse));
+  std::fprintf(f, "    \"model_replays\": %llu,\n",
+               static_cast<unsigned long long>(model_replays));
+  std::fprintf(f, "    \"domain_memo_hits\": %llu,\n",
+               static_cast<unsigned long long>(domain_memo_hits));
   std::fprintf(f, "    \"queries\": %llu\n",
                static_cast<unsigned long long>(queries));
   std::fprintf(f, "  },\n");

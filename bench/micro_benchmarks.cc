@@ -123,6 +123,99 @@ void BM_KMeans(benchmark::State& state) {
 }
 BENCHMARK(BM_KMeans)->Arg(4)->Arg(16);
 
+// --- Per-stage solver micro-benchmarks (incremental pipeline) ---------------
+// One benchmark per reuse stage of solver.h's pipeline, so a perf
+// regression names the stage that caused it.
+
+// Stage: exact-cache hit. The warm-up query pays the search; every timed
+// query after it is answered by the L1 exact entry.
+void BM_SolverExactCacheHit(benchmark::State& state) {
+  auto array = std::make_shared<Array>("bench", 64);
+  VClock clock;
+  Stats stats;
+  Solver solver(clock, stats);
+  ConstraintSet cs;
+  cs.add(mk_ult(mk_const(0x10, 8), mk_read(array, 0)));
+  const ExprRef q = mk_eq(mk_read(array, 0), mk_const(0x7f, 8));
+  Assignment model;
+  solver.check_sat(cs, q, &model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.check_sat(cs, q, &model));
+  }
+}
+BENCHMARK(BM_SolverExactCacheHit);
+
+// Stage: partition slicing. The persistent union-find makes a slice a few
+// find()s regardless of how many unrelated constraints the path has
+// accumulated; the arg sets that unrelated-constraint count.
+void BM_SolverPartitionSlice(benchmark::State& state) {
+  auto array = std::make_shared<Array>("bench", 4096);
+  ConstraintSet cs;
+  const unsigned n = static_cast<unsigned>(state.range(0));
+  for (unsigned i = 0; i < n; ++i)
+    cs.add(mk_ult(mk_const(0, 8), mk_read(array, 2 * i)));
+  const ExprRef q = mk_eq(mk_read(array, 0), mk_const(1, 8));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cs.slice(q).constraints.size());
+  }
+}
+BENCHMARK(BM_SolverPartitionSlice)->Arg(64)->Arg(1024);
+
+// Stage: counterexample replay. The untimed setup query searches and files
+// its model under the partition key; the timed query is fresh (exact-cache
+// miss) but satisfied by that model, so it resolves by replay. A fresh
+// solver per iteration keeps the timed query from degrading into an
+// exact-cache hit.
+void BM_SolverModelReplay(benchmark::State& state) {
+  auto array = std::make_shared<Array>("bench", 64);
+  for (auto _ : state) {
+    state.PauseTiming();
+    VClock clock;
+    Stats stats;
+    Solver solver(clock, stats);
+    ConstraintSet cs;
+    const ExprRef q1 = mk_eq(mk_read(array, 0), mk_const(0x7f, 8));
+    solver.check_sat(cs, q1);
+    cs.add(q1);
+    const ExprRef q2 = mk_ult(mk_const(0x10, 8), mk_read(array, 0));
+    state.ResumeTiming();
+    Assignment model;
+    benchmark::DoNotOptimize(solver.check_sat(cs, q2, &model));
+  }
+}
+BENCHMARK(BM_SolverModelReplay);
+
+// Stage: domain propagation, memo off vs on. A loop-bound chain re-queries
+// a growing list; with the memo each query seeds from the memoized prefix
+// domains and only propagates the delta. Caches are off so every timed
+// query actually reaches propagation.
+void BM_SolverDomainPropagation(benchmark::State& state) {
+  const bool memo = state.range(0) != 0;
+  auto array = std::make_shared<Array>("bench", 64);
+  const ExprRef count =
+      mk_or(mk_zext(mk_read(array, 0), 32),
+            mk_shl(mk_zext(mk_read(array, 1), 32), mk_const(8, 32)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    VClock clock;
+    Stats stats;
+    SolverOptions options;
+    options.use_cache = false;
+    options.use_cex_cache = false;
+    options.use_domain_memo = memo;
+    Solver solver(clock, stats, options);
+    ConstraintSet cs;
+    cs.add(mk_ult(mk_const(0, 32), count));
+    state.ResumeTiming();
+    for (unsigned i = 1; i <= 8; ++i) {
+      const ExprRef q = mk_ult(mk_const(i, 32), count);
+      benchmark::DoNotOptimize(solver.check_sat(cs, q));
+      cs.add(q);
+    }
+  }
+}
+BENCHMARK(BM_SolverDomainPropagation)->Arg(0)->Arg(1);
+
 // The disabled-path cost of an instrumentation site: one relaxed atomic
 // load and a branch, with no argument evaluation. Compare against
 // BM_TraceBaselineLoop to see the delta per call.

@@ -14,6 +14,8 @@
 // random-state, covnew and md2u plateau early; dfs is poor at 1h but
 // catches up by 10h; pbSE roughly doubles the best KLEE result.
 #include "bench_common.h"
+#include <cstdlib>
+
 #include "bench_json.h"
 
 int main(int argc, char** argv) {
@@ -115,6 +117,10 @@ int main(int argc, char** argv) {
       pbse_table.row(std::vector<std::string>(outcomes[cursor].rows[0]));
   std::printf("%s", pbse_table.render().c_str());
 
+  if (std::getenv("PBSE_DUMP_STATS") != nullptr)
+    for (const auto& [name, value] : runner.aggregate_stats().all())
+      std::printf("STAT %s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
   write_bench_json("BENCH_pbse.json", "table1_readelf_searchers", config.jobs,
                    config.share_cache, runner, outcomes);
   return 0;

@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
 # CI gate: configure, build, run the test suite. Exits nonzero on any
 # failure. Usage: scripts/check.sh [build-dir] (default: build).
+#
+# -o pipefail matters here: the test and bench stages pipe through tee so
+# the log survives in the build dir, and without pipefail a pipeline's exit
+# status is tee's (always 0), silently masking the real failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+trap 'echo "check.sh: FAILED at line $LINENO: $BASH_COMMAND" >&2' ERR
 
 BUILD_DIR="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
@@ -16,15 +22,19 @@ fi
 
 cmake -S . -B "$BUILD_DIR" "${GEN[@]}" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" -j "$JOBS" --output-on-failure
+ctest --test-dir "$BUILD_DIR" -j "$JOBS" --output-on-failure 2>&1 \
+  | tee "$BUILD_DIR/ctest.log"
 
 # Golden bench check: regenerate the small-workload bench and diff its
-# deterministic fields (coverage/ticks/bugs; wall-clock is ignored) against
-# the committed BENCH_pbse.json. --no-share-cache keeps the run bit-exact
-# regardless of worker scheduling.
+# deterministic fields (coverage/ticks/bugs/solver hit-class counters;
+# wall-clock is ignored) against the committed BENCH_pbse.json.
+# --no-share-cache keeps the run bit-exact regardless of worker scheduling.
 cp BENCH_pbse.json "$BUILD_DIR/BENCH_golden.json"
-"./$BUILD_DIR/bench/table1_readelf_searchers" --quick --jobs=2 --no-share-cache
+"./$BUILD_DIR/bench/table1_readelf_searchers" --quick --jobs=2 --no-share-cache 2>&1 \
+  | tee "$BUILD_DIR/bench.log"
 python3 scripts/bench_diff.py "$BUILD_DIR/BENCH_golden.json" BENCH_pbse.json
 # Deterministic fields match: restore the committed file so the only diff a
 # passing run leaves behind is nothing at all (wall_seconds would churn).
 mv "$BUILD_DIR/BENCH_golden.json" BENCH_pbse.json
+
+echo "check.sh: OK"

@@ -1,5 +1,7 @@
 #include "solver/cache.h"
 
+#include <algorithm>
+
 namespace pbse {
 
 namespace {
@@ -32,7 +34,66 @@ ArrayRef match_by_shape(const std::vector<ArrayRef>& arrays,
   return found;
 }
 
+/// Remaps every array of `model` onto the matching array of `arrays`
+/// (produced-by-another-campaign case); arrays without a shape match are
+/// kept as-is.
+void remap_model(ModelBytes& model, const std::vector<ArrayRef>& arrays) {
+  for (auto& [array, bytes] : model) {
+    if (const ArrayRef local = match_by_shape(arrays, *array);
+        local != nullptr && local.get() != array.get())
+      array = local;
+  }
+}
+
 }  // namespace
+
+bool models_equal(const ModelBytes& a, const ModelBytes& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].first.get() != b[i].first.get() || a[i].second != b[i].second)
+      return false;
+  }
+  return true;
+}
+
+// --- CexStore ---------------------------------------------------------------
+
+void CexStore::add_model(std::uint64_t key, const ModelBytes& model) {
+  auto& list = models_[key];
+  for (const auto& existing : list)
+    if (models_equal(existing, model)) return;  // bounded: kMaxPerKey checks
+  list.push_back(model);
+  if (list.size() > kMaxPerKey) list.erase(list.begin());
+}
+
+void CexStore::add_unsat_core(std::uint64_t key,
+                              const std::vector<std::uint64_t>& core) {
+  auto& list = unsat_[key];
+  for (const auto& existing : list)
+    if (existing == core) return;
+  // Prefer retaining SMALL cores: a small core subsumes more supersets.
+  // Insert keeping the list sorted by size (stable), evict the largest.
+  const auto pos = std::upper_bound(
+      list.begin(), list.end(), core,
+      [](const std::vector<std::uint64_t>& a,
+         const std::vector<std::uint64_t>& b) { return a.size() < b.size(); });
+  list.insert(pos, core);
+  if (list.size() > kMaxPerKey) list.pop_back();
+}
+
+std::size_t CexStore::num_models() const {
+  std::size_t n = 0;
+  for (const auto& [k, v] : models_) n += v.size();
+  return n;
+}
+
+std::size_t CexStore::num_cores() const {
+  std::size_t n = 0;
+  for (const auto& [k, v] : unsat_) n += v.size();
+  return n;
+}
+
+// --- ShardedQueryCache ------------------------------------------------------
 
 ShardedQueryCache::ShardedQueryCache(unsigned num_shards) {
   if (num_shards == 0) num_shards = 1;
@@ -69,13 +130,10 @@ std::optional<QueryCache::Entry> ShardedQueryCache::lookup(
     // matches within the producing campaign; shape (name+size) is the
     // cross-campaign identity that also feeds the expression hash.
     const std::vector<ArrayRef> arrays = constraint_arrays(constraints);
+    remap_model(entry.model, arrays);
     Assignment assignment;
-    for (auto& [array, bytes] : entry.model) {
-      if (const ArrayRef local = match_by_shape(arrays, *array);
-          local != nullptr && local.get() != array.get())
-        array = local;
+    for (const auto& [array, bytes] : entry.model)
       assignment.set(array, bytes);
-    }
     for (const auto& c : constraints) {
       if (!evaluate_bool(c, assignment)) {
         misses_.fetch_add(1, std::memory_order_relaxed);
@@ -91,6 +149,56 @@ void ShardedQueryCache::insert(std::uint64_t key, QueryCache::Entry entry) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(lock_counted(shard.mu), std::adopt_lock);
   shard.entries[key] = std::move(entry);
+}
+
+std::vector<ModelBytes> ShardedQueryCache::partition_models(
+    std::uint64_t key, const std::vector<ExprRef>& constraints) {
+  Shard& shard = shard_for(key);
+  std::vector<ModelBytes> out;
+  {
+    std::lock_guard<std::mutex> lock(lock_counted(shard.mu), std::adopt_lock);
+    const auto it = shard.models.find(key);
+    if (it == shard.models.end()) return out;
+    out = it->second;  // copy out; remap without the lock
+  }
+  const std::vector<ArrayRef> arrays = constraint_arrays(constraints);
+  for (auto& model : out) remap_model(model, arrays);
+  return out;
+}
+
+void ShardedQueryCache::publish_model(std::uint64_t key,
+                                      const ModelBytes& model) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(lock_counted(shard.mu), std::adopt_lock);
+  auto& list = shard.models[key];
+  for (const auto& existing : list)
+    if (models_equal(existing, model)) return;
+  list.push_back(model);
+  if (list.size() > CexStore::kMaxPerKey) list.erase(list.begin());
+}
+
+std::vector<std::vector<std::uint64_t>> ShardedQueryCache::partition_unsat_cores(
+    std::uint64_t key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(lock_counted(shard.mu), std::adopt_lock);
+  const auto it = shard.cores.find(key);
+  return it == shard.cores.end() ? std::vector<std::vector<std::uint64_t>>{}
+                                 : it->second;
+}
+
+void ShardedQueryCache::publish_unsat_core(
+    std::uint64_t key, const std::vector<std::uint64_t>& core) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(lock_counted(shard.mu), std::adopt_lock);
+  auto& list = shard.cores[key];
+  for (const auto& existing : list)
+    if (existing == core) return;
+  const auto pos = std::upper_bound(
+      list.begin(), list.end(), core,
+      [](const std::vector<std::uint64_t>& a,
+         const std::vector<std::uint64_t>& b) { return a.size() < b.size(); });
+  list.insert(pos, core);
+  if (list.size() > CexStore::kMaxPerKey) list.pop_back();
 }
 
 ShardedQueryCache::Counters ShardedQueryCache::counters() const {
@@ -114,6 +222,8 @@ void ShardedQueryCache::clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(lock_counted(shard->mu), std::adopt_lock);
     shard->entries.clear();
+    shard->models.clear();
+    shard->cores.clear();
   }
 }
 

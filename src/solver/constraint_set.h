@@ -1,8 +1,33 @@
 // Path-constraint container: an ordered, deduplicated set of width-1
-// expressions, with an incremental hash used as a cache key.
+// expressions, with an incremental hash used as a cache key and a
+// PERSISTENT independence partition maintained incrementally.
+//
+// Every constraint reads a set of (array, byte-index) sites; two
+// constraints are dependent iff they are transitively connected through
+// shared sites. The set maintains a union-find over sites updated on
+// add(), so the solver's independence slicing is "collect the partitions
+// the query touches" (one find() per query read + one find() per
+// constraint) instead of the old O(constraints × reads) closure per query.
+//
+// Each partition carries a stable REGION ID: the minimum content hash of
+// its member sites (array name+size and byte index — never pointers). The
+// id identifies the input region a partition constrains, and — unlike a
+// hash of the partition's constraints — survives the partition growing as
+// the path adds constraints, so partial results filed under it (cached
+// models, UNSAT cores) stay reachable for later queries over the same
+// bytes. Ids are content-stable across campaigns, which is what lets the
+// sharded cross-campaign cache share partition-keyed partial results.
+// Reuse stays sound without any content check in the key: cached models
+// are re-verified by evaluation, and UNSAT cores carry their constraints'
+// content hashes, checked by subset against the current list.
+//
+// The set stays a plain value type: state forks copy the vectors/maps and
+// keep sharing the ExprRefs. Not thread-safe (one state, one thread) —
+// find() performs path compression under `mutable`.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -10,13 +35,24 @@
 
 namespace pbse {
 
+/// Multiply-mix applied to a constraint's structural hash before any
+/// order-insensitive XOR combination. Shared by the set hash, the solver's
+/// cache keys and the partition hashes so the three stay algebraically
+/// consistent (prefix-hash = list-hash XOR mixed(query)).
+inline std::uint64_t mix_constraint_hash(std::uint64_t h) {
+  h *= 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  return h;
+}
+
 /// The conjunction of branch conditions accumulated along one path.
 /// Value type: copied on state fork (the ExprRefs themselves are shared).
 class ConstraintSet {
  public:
   /// Adds `c` (width 1). Trivially-true constraints and duplicates are
   /// dropped. Returns false iff `c` is the literal false constant (caller
-  /// should kill the state).
+  /// should kill the state). Unions the partitions of every site `c`
+  /// reads.
   bool add(const ExprRef& c);
 
   const std::vector<ExprRef>& constraints() const { return constraints_; }
@@ -30,12 +66,62 @@ class ConstraintSet {
   /// True if `c` is syntactically present.
   bool contains(const ExprRef& c) const;
 
+  /// An independence slice: the constraints connected to a query plus the
+  /// region ids of the partitions they form.
+  struct Slice {
+    /// Connected constraints, insertion order preserved.
+    std::vector<ExprRef> constraints;
+    /// Sorted, distinct region ids of the touched partitions — the keys
+    /// under which the solver's counterexample store files partial
+    /// results.
+    std::vector<std::uint64_t> partitions;
+    /// The region id the touched partitions will carry once the query is
+    /// added to the set: the min over the touched partitions' ids AND the
+    /// query's previously-unconstrained sites. Valid for slice() only
+    /// (whole() has no query); equals the partitions' min when the query
+    /// introduces no fresh sites.
+    std::uint64_t merged = 0;
+  };
+
+  /// The constraints transitively connected to `query` through shared
+  /// read sites (the classic independence slice), plus their partition
+  /// region ids. A query whose sites are all unconstrained yields an
+  /// empty constraint list (but still a `merged` id for its fresh sites).
+  Slice slice(const ExprRef& query) const;
+
+  /// Every constraint with every partition region id — what solve_all
+  /// works on.
+  Slice whole() const;
+
+  /// Number of distinct independence partitions.
+  std::size_t num_partitions() const;
+
  private:
+  static constexpr std::uint32_t kNoNode = ~std::uint32_t{0};
+
+  std::uint32_t find_root(std::uint32_t n) const;
+  /// Node for a site key, created on demand with the given region id.
+  std::uint32_t node_for_site(std::uint64_t site, std::uint64_t region_id);
+  /// Unions the partitions of `a` and `b`, returns the surviving root.
+  std::uint32_t union_nodes(std::uint32_t a, std::uint32_t b);
+
   std::vector<ExprRef> constraints_;
   /// Hash-consing makes structural equality pointer equality, so presence
   /// checks are a pointer-set lookup.
   std::unordered_set<const Expr*> present_;
   std::uint64_t hash_ = 0x243f6a8885a308d3ULL;
+
+  // --- Persistent independence partition ---------------------------------
+  /// (array pointer, index) site key -> union-find node.
+  std::unordered_map<std::uint64_t, std::uint32_t> site_node_;
+  /// Union-find parent links; mutable so const find() can path-compress
+  /// (pure cache mutation, single-threaded by the state contract above).
+  mutable std::vector<std::uint32_t> uf_parent_;
+  std::vector<std::uint32_t> uf_size_;
+  /// Stable region id (min member-site content hash); valid at roots.
+  std::vector<std::uint64_t> region_id_;
+  /// One member node per constraint (its first read site).
+  std::vector<std::uint32_t> constraint_node_;
 };
 
 }  // namespace pbse

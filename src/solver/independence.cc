@@ -1,62 +1,10 @@
 #include "solver/independence.h"
 
-#include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
-
 namespace pbse {
-
-namespace {
-std::uint64_t site_key(const ReadSite& site) {
-  return (reinterpret_cast<std::uintptr_t>(site.array.get()) << 20) ^
-         site.index;
-}
-}  // namespace
 
 std::vector<ExprRef> independent_slice(const ConstraintSet& cs,
                                        const ExprRef& query) {
-  const auto& all = cs.constraints();
-  // Read sites per constraint (memoized globally per expression).
-  std::vector<std::vector<std::uint64_t>> sites(all.size());
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    const auto& reads = cached_reads(all[i]);
-    sites[i].reserve(reads.size());
-    for (const auto& r : reads) sites[i].push_back(site_key(r));
-  }
-
-  // Worklist: start from the query's sites, pull in constraints that touch
-  // any reached site, then their sites, until fixpoint.
-  std::unordered_set<std::uint64_t> reached;
-  {
-    std::vector<ReadSite> reads;
-    collect_reads(query, reads);
-    for (const auto& r : reads) reached.insert(site_key(r));
-  }
-
-  std::vector<bool> taken(all.size(), false);
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t i = 0; i < all.size(); ++i) {
-      if (taken[i]) continue;
-      bool touches = false;
-      for (std::uint64_t s : sites[i]) {
-        if (reached.count(s) != 0) {
-          touches = true;
-          break;
-        }
-      }
-      if (!touches) continue;
-      taken[i] = true;
-      changed = true;
-      for (std::uint64_t s : sites[i]) reached.insert(s);
-    }
-  }
-
-  std::vector<ExprRef> out;
-  for (std::size_t i = 0; i < all.size(); ++i)
-    if (taken[i]) out.push_back(all[i]);
-  return out;
+  return cs.slice(query).constraints;
 }
 
 }  // namespace pbse

@@ -422,4 +422,18 @@ bool propagate_domains(const std::vector<ExprRef>& constraints,
   return !domains.any_empty();
 }
 
+bool propagate_delta(const std::vector<ExprRef>& prefix,
+                     const std::vector<ExprRef>& added, DomainMap& domains,
+                     std::uint64_t& cost_out) {
+  if (!propagate_domains(added, domains, cost_out)) return false;
+  // One interval pass over the prefix: the added constraints' pins may
+  // contradict an already-propagated constraint even though each byte
+  // domain is individually non-empty.
+  for (const auto& c : prefix) {
+    cost_out += expr_cost(c);
+    if (interval_of(c, domains).hi == 0) return false;
+  }
+  return !domains.any_empty();
+}
+
 }  // namespace pbse

@@ -43,6 +43,8 @@ class ByteDomain {
 };
 
 /// Domains for all bytes touched by a query, keyed by (array, index).
+/// Plain value type: the solver memoizes propagated maps per independence
+/// partition and seeds later queries from a copy.
 class DomainMap {
  public:
   ByteDomain& domain(const Array* array, std::uint32_t index) {
@@ -57,6 +59,8 @@ class DomainMap {
       if (d.empty()) return true;
     return false;
   }
+  /// Number of bytes with an explicit domain (charging / bookkeeping).
+  std::size_t size() const { return domains_.size(); }
 
  private:
   static std::uint64_t key(const Array* array, std::uint32_t index) {
@@ -71,6 +75,18 @@ class DomainMap {
 /// (the caller charges it to the virtual clock).
 bool propagate_domains(const std::vector<ExprRef>& constraints,
                        DomainMap& domains, std::uint64_t& cost_out);
+
+/// Incremental variant for the solver's per-partition domain memo:
+/// `domains` already holds the fully propagated domains of `prefix`, and
+/// only `added` is new. Propagates `added`, then re-checks the prefix
+/// constraints' intervals once against the narrowed domains (so fresh pins
+/// still refute stale constraints) WITHOUT re-running their per-byte
+/// enumeration — that is the saving. Sound: domains only ever shrink, so
+/// seeding from a prefix's propagation result over-approximates the
+/// feasible set of the full list. Returns false when UNSAT is detected.
+bool propagate_delta(const std::vector<ExprRef>& prefix,
+                     const std::vector<ExprRef>& added, DomainMap& domains,
+                     std::uint64_t& cost_out);
 
 /// Pattern matcher for propagator 2: decomposes `e` into byte-granular
 /// (read-site, byte-position) pairs if `e` is an assembly of distinct byte

@@ -1,18 +1,22 @@
 // Solver facade: the engine's single entry point for satisfiability and
-// value queries. Pipeline per query:
+// value queries. Pipeline per query (incremental across the queries of one
+// path — see DESIGN.md §9):
 //
 //   fast path (hint / all-zeros evaluation)
-//     -> independence slicing
-//     -> cache lookup
-//     -> byte-domain propagation
+//     -> independence slicing (persistent partitions, ConstraintSet)
+//     -> exact cache lookup (L1, then shared L2)
+//     -> partition-keyed UNSAT-core subset check
+//     -> partition-keyed counterexample (model) replay
+//     -> byte-domain propagation (memoized per partition prefix)
 //     -> bounded backtracking search
-//     -> cache fill
+//     -> cache / counterexample-store fill
 //
-// Every evaluation performed is charged to the virtual clock, so solver
-// effort competes with interpretation effort exactly as in the paper's
-// wall-clock experiments. A budget-exhausted query returns kUnknown and the
-// engine treats the branch as unreachable-for-now — this is what makes
-// input-dependent loop exits "trap" symbolic execution.
+// Every evaluation performed — including every cached-model replay and
+// every memoized-domain delta propagation — is charged to the virtual
+// clock, so solver effort competes with interpretation effort exactly as
+// in the paper's wall-clock experiments. A budget-exhausted query returns
+// kUnknown and the engine treats the branch as unreachable-for-now — this
+// is what makes input-dependent loop exits "trap" symbolic execution.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +28,7 @@
 #include "expr/expr.h"
 #include "solver/cache.h"
 #include "solver/constraint_set.h"
+#include "solver/interval.h"
 #include "support/stats.h"
 #include "support/vclock.h"
 
@@ -43,11 +48,22 @@ struct SolverOptions {
   std::uint64_t charge_divisor = 32;
   bool use_cache = true;
   bool use_independence = true;
+  /// Partition-keyed counterexample reuse (model replay + UNSAT-core
+  /// subset proofs). Requires use_cache.
+  bool use_cex_cache = true;
+  /// Per-partition memoization of propagated byte domains.
+  bool use_domain_memo = true;
+  /// Cap on cached models replayed per query (L1 and L2 each); bounds the
+  /// worst-case replay cost on a miss.
+  std::size_t max_model_replays = 4;
+  /// Domain-memo entries retained before a deterministic wholesale clear.
+  std::size_t max_domain_memo_entries = 4096;
   /// Optional shared L2 cache (thread-safe, sharded). When set, the solver
-  /// consults it after an L1 miss and publishes every solved query into it,
-  /// so concurrent campaigns reuse each other's sat/unsat results. Sharing
-  /// a cache across campaigns trades bit-exact serial/parallel determinism
-  /// for throughput — see DESIGN.md "Parallel campaigns".
+  /// consults it after an L1 miss and publishes every solved query into it
+  /// — whole queries AND partition-keyed partial results — so concurrent
+  /// campaigns reuse each other's work. Sharing a cache across campaigns
+  /// trades bit-exact serial/parallel determinism for throughput — see
+  /// DESIGN.md "Parallel campaigns".
   std::shared_ptr<ShardedQueryCache> shared_cache;
 };
 
@@ -89,19 +105,40 @@ class Solver {
 
   const SolverOptions& options() const { return options_; }
   QueryCache& cache() { return cache_; }
+  CexStore& cex_store() { return cex_; }
+  std::size_t domain_memo_size() const { return domain_memo_.size(); }
 
  private:
+  /// Slice metadata threaded through the pipeline: which independence
+  /// partitions the query touches (counterexample / domain-memo keys) and
+  /// which list element is the query (for prefix hashing).
+  struct SliceCtx {
+    /// Sorted, distinct content hashes of the touched partitions; empty
+    /// disables partition-keyed reuse for the query.
+    std::vector<std::uint64_t> partitions;
+    /// The appended query constraint; null for solve_all-style lists.
+    ExprRef query;
+  };
+
   /// Shared pipeline over an already-assembled constraint list. Runs the
   /// defined-by elimination first (checksum/CRC equalities whose stored
   /// bytes appear nowhere else are deferred and back-computed), then the
-  /// fast paths, cache, propagation and search over the remainder.
+  /// fast paths, caches, propagation and search over the remainder.
   SolverResult solve_list(const std::vector<ExprRef>& constraints,
-                          Assignment* model, const HintRef& hint);
+                          const SliceCtx& ctx, Assignment* model,
+                          const HintRef& hint);
 
   /// Pipeline body without elimination (used by solve_list and as its
   /// fallback when a deferred equality turns out to chain).
   SolverResult solve_core(const std::vector<ExprRef>& constraints,
-                          Assignment* model, const HintRef& hint);
+                          const SliceCtx& ctx, Assignment* model,
+                          const HintRef& hint);
+
+  /// Files a solved result into the partition-keyed stores (L1 cex store
+  /// and, when configured, the shared L2).
+  void publish_sat(const SliceCtx& ctx, const ModelBytes& model);
+  void publish_unsat(const SliceCtx& ctx,
+                     const std::vector<std::uint64_t>& core);
 
   /// Memoized evaluator for `hint`, cached by identity (the evaluator keeps
   /// the assignment alive, so pointer reuse cannot alias).
@@ -116,6 +153,13 @@ class Solver {
   Stats& stats_;
   SolverOptions options_;
   QueryCache cache_;
+  /// Partition-keyed counterexample store (models + UNSAT cores).
+  CexStore cex_;
+  /// Propagated byte domains memoized by the content hash of the
+  /// constraint list they were computed from (the "prefix": the sliced
+  /// list without the query). Entries are only written after a propagation
+  /// that did NOT prove UNSAT, so a hit always seeds feasible domains.
+  std::unordered_map<std::uint64_t, DomainMap> domain_memo_;
   std::unordered_map<const Assignment*, std::shared_ptr<CachingEvaluator>>
       hint_evaluators_;
 };

@@ -144,11 +144,19 @@ int cmd_summarize(const std::string& path) {
 
   // --- Solver-time breakdown -------------------------------------------
   const auto durations = duration_breakdown(events);
-  std::uint64_t cache_hits = 0, shared_hits = 0;
+  // Reuse hit classes of the incremental pipeline, cheapest first (see
+  // solver.h): exact cache -> UNSAT-core subset -> model replay -> domain
+  // memo. Their sum over solver.queries is the reuse rate EXPERIMENTS.md
+  // tracks.
+  std::uint64_t cache_hits = 0, shared_hits = 0, partition_hits = 0,
+                model_reuse = 0, domain_memo_hits = 0;
   for (const auto& e : events) {
     if (e.cat != "solver") continue;
     if (e.name == "cache_hit") ++cache_hits;
     if (e.name == "shared_cache_hit") ++shared_hits;
+    if (e.name == "partition_hit") ++partition_hits;
+    if (e.name == "model_reuse") ++model_reuse;
+    if (e.name == "domain_memo_hit") ++domain_memo_hits;
   }
   std::printf("\nsolver breakdown:\n");
   for (const auto& [key, cnt_ticks] : durations) {
@@ -159,6 +167,15 @@ int cmd_summarize(const std::string& path) {
   std::printf("  %-12s %8" PRIu64 " hits\n", "cache", cache_hits);
   if (shared_hits != 0)
     std::printf("  %-12s %8" PRIu64 " hits\n", "shared-cache", shared_hits);
+  if (partition_hits != 0)
+    std::printf("  %-12s %8" PRIu64 " hits (unsat-core subset)\n",
+                "partition", partition_hits);
+  if (model_reuse != 0)
+    std::printf("  %-12s %8" PRIu64 " hits (replayed counterexamples)\n",
+                "model-reuse", model_reuse);
+  if (domain_memo_hits != 0)
+    std::printf("  %-12s %8" PRIu64 " hits (memoized domain prefixes)\n",
+                "domain-memo", domain_memo_hits);
 
   // --- Scheduler decision log ------------------------------------------
   constexpr std::size_t kMaxLog = 40;

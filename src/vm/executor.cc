@@ -539,17 +539,19 @@ bool Executor::validate_model(ExecutionState& state) {
   if (violated.empty()) return true;
 
   Assignment repaired(*state.model);
-  SolverResult r;
-  if (violated.size() == 1) {
-    // The common case: a seedState's model (the seed) violates exactly the
-    // flipped branch constraint. Repairing only its independent slice is
-    // sound — the untouched bytes keep satisfying everything else — and
-    // vastly cheaper than re-solving the whole path.
-    r = solver_.check_sat(state.constraints, violated.front(), &repaired,
-                          state.model);
-  } else {
-    r = solver_.solve_all(state.constraints, &repaired, state.model);
-  }
+  // Repair only the violated constraints' independent slice — usually a
+  // seedState's model (the seed) violates exactly the flipped branch
+  // constraint. This is sound: the untouched partitions' bytes keep
+  // satisfying the constraints they are connected to, and it is vastly
+  // cheaper than re-solving the whole path. Multiple violations are folded
+  // into one conjunction query so the slice still covers them all while
+  // the solver's partition caches stay in play.
+  ExprRef repair_query = violated.front();
+  for (std::size_t i = 1; i < violated.size(); ++i)
+    repair_query = mk_land(repair_query, violated[i]);
+  const SolverResult r =
+      solver_.check_sat(state.constraints, repair_query, &repaired,
+                        state.model);
   if (r != SolverResult::kSat) {
     stats_.add(r == SolverResult::kUnsat ? ids().seedstate_unsat
                                          : ids().seedstate_unknown);

@@ -15,11 +15,12 @@ ArrayRef make_array() {
   return std::make_shared<Array>("p" + std::to_string(counter++), 4);
 }
 
-/// A random width-1 constraint over the two bytes of `array` (and
+/// A random width-1 constraint over two chosen bytes of `array` (and
 /// constants), built from a small grammar.
-ExprRef random_constraint(const ArrayRef& array, Rng& rng) {
-  const ExprRef b0 = mk_zext(mk_read(array, 0), 16);
-  const ExprRef b1 = mk_zext(mk_read(array, 1), 16);
+ExprRef random_constraint_on(const ArrayRef& array, std::uint32_t i0,
+                             std::uint32_t i1, Rng& rng) {
+  const ExprRef b0 = mk_zext(mk_read(array, i0), 16);
+  const ExprRef b1 = mk_zext(mk_read(array, i1), 16);
   auto random_term = [&]() -> ExprRef {
     switch (rng.below(6)) {
       case 0: return b0;
@@ -42,15 +43,20 @@ ExprRef random_constraint(const ArrayRef& array, Rng& rng) {
   }
 }
 
-/// Ground truth by brute force over the 2-byte domain.
-bool exhaustively_satisfiable(const ArrayRef& array,
-                              const std::vector<ExprRef>& constraints) {
+ExprRef random_constraint(const ArrayRef& array, Rng& rng) {
+  return random_constraint_on(array, 0, 1, rng);
+}
+
+/// Ground truth by brute force over a 2-byte domain.
+bool exhaustively_satisfiable_on(const ArrayRef& array, std::uint32_t i0,
+                                 std::uint32_t i1,
+                                 const std::vector<ExprRef>& constraints) {
   Assignment a;
   auto& bytes = a.mutable_bytes(array);
   for (unsigned v0 = 0; v0 < 256; ++v0) {
     for (unsigned v1 = 0; v1 < 256; ++v1) {
-      bytes[0] = static_cast<std::uint8_t>(v0);
-      bytes[1] = static_cast<std::uint8_t>(v1);
+      bytes[i0] = static_cast<std::uint8_t>(v0);
+      bytes[i1] = static_cast<std::uint8_t>(v1);
       bool all = true;
       for (const auto& c : constraints) {
         if (!evaluate_bool(c, a)) {
@@ -62,6 +68,11 @@ bool exhaustively_satisfiable(const ArrayRef& array,
     }
   }
   return false;
+}
+
+bool exhaustively_satisfiable(const ArrayRef& array,
+                              const std::vector<ExprRef>& constraints) {
+  return exhaustively_satisfiable_on(array, 0, 1, constraints);
 }
 
 class SolverSoundness : public ::testing::TestWithParam<std::uint64_t> {};
@@ -117,6 +128,164 @@ TEST_P(SolverSoundness, MatchesExhaustiveEnumeration) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverSoundness,
                          ::testing::Values(11ull, 22ull, 33ull, 44ull, 55ull));
+
+// --- Slicing equivalence ----------------------------------------------------
+
+class SlicingEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Independence slicing (and the whole partition-keyed reuse pipeline built
+// on it) must never change a verdict. Two solvers — slicing on and off —
+// walk the same random path over two DISJOINT byte pairs (two independence
+// partitions); every definite answer from either solver must match the
+// pairwise exhaustive ground truth. The path invariant "cs stays
+// satisfiable" is maintained the same way the executor does: a query is
+// added only when it keeps its pair satisfiable.
+TEST_P(SlicingEquivalence, SlicingNeverChangesTheVerdict) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    auto array = make_array();
+    VClock clock_a, clock_b;
+    Stats stats_a, stats_b;
+    SolverOptions unsliced;
+    unsliced.use_independence = false;
+    Solver sliced_solver(clock_a, stats_a);
+    Solver unsliced_solver(clock_b, stats_b, unsliced);
+
+    ConstraintSet cs_sliced, cs_unsliced;
+    // Accepted constraints per byte pair: (0,1) and (2,3).
+    std::vector<ExprRef> accepted[2];
+
+    const std::size_t n = 3 + rng.below(4);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t pair = rng.below(2);
+      const std::uint32_t i0 = pair * 2, i1 = pair * 2 + 1;
+      const ExprRef query = random_constraint_on(array, i0, i1, rng);
+
+      std::vector<ExprRef> with_query = accepted[pair];
+      with_query.push_back(query);
+      const bool truth =
+          exhaustively_satisfiable_on(array, i0, i1, with_query);
+
+      Assignment model_s, model_u;
+      const SolverResult rs = sliced_solver.check_sat(cs_sliced, query,
+                                                      &model_s);
+      const SolverResult ru = unsliced_solver.check_sat(cs_unsliced, query,
+                                                        &model_u);
+      if (rs != SolverResult::kUnknown)
+        EXPECT_EQ(rs == SolverResult::kSat, truth)
+            << "sliced verdict wrong for " << query->to_string();
+      if (ru != SolverResult::kUnknown)
+        EXPECT_EQ(ru == SolverResult::kSat, truth)
+            << "unsliced verdict wrong for " << query->to_string();
+      if (rs != SolverResult::kUnknown && ru != SolverResult::kUnknown)
+        EXPECT_EQ(rs, ru) << "slicing changed the verdict for "
+                          << query->to_string();
+
+      if (truth) {
+        cs_sliced.add(query);
+        cs_unsliced.add(query);
+        accepted[pair].push_back(query);
+      }
+    }
+    EXPECT_EQ(cs_sliced.hash(), cs_unsliced.hash());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SlicingEquivalence,
+                         ::testing::Values(7ull, 17ull, 27ull, 37ull));
+
+// --- Cross-partition expressions (Concat / Select) --------------------------
+
+// A Concat whose operands read DIFFERENT byte regions must union those
+// regions into one partition: a conflict reachable only through the concat
+// constraint has to surface on a query that mentions just one side.
+TEST(SolverCrossPartition, ConcatLinksItsOperandPartitions) {
+  auto array = std::make_shared<Array>("xp", 8);
+  const ExprRef b0 = mk_read(array, 0);
+  const ExprRef b4 = mk_read(array, 4);
+  ConstraintSet cs;
+  // Bytes 0 and 4 start in separate partitions...
+  cs.add(mk_ule(b0, mk_const(0x10, 8)));
+  cs.add(mk_ule(b4, mk_const(0x10, 8)));
+  ASSERT_EQ(cs.num_partitions(), 2u);
+  // ...until a concat constraint spans both.
+  cs.add(mk_eq(mk_concat(b0, b4), mk_const(0x0102, 16)));
+  EXPECT_EQ(cs.num_partitions(), 1u);
+
+  VClock clock;
+  Stats stats;
+  Solver solver(clock, stats);
+  // SAT direction: b0 == 1 (and implicitly b4 == 2).
+  Assignment model;
+  ASSERT_EQ(solver.check_sat(cs, mk_eq(b0, mk_const(1, 8)), &model),
+            SolverResult::kSat);
+  EXPECT_EQ(model.byte(array.get(), 4), 2);
+  // UNSAT direction: the conflict with b4 flows through the concat — the
+  // slice for a b4-only query must include all three constraints.
+  EXPECT_EQ(solver.check_sat(cs, mk_eq(b4, mk_const(3, 8))),
+            SolverResult::kUnsat);
+  const auto slice = cs.slice(mk_eq(b4, mk_const(3, 8)));
+  EXPECT_EQ(slice.constraints.size(), 3u);
+  EXPECT_EQ(slice.partitions.size(), 1u);
+}
+
+// Select reads BOTH branches' sites (its value can depend on any of them),
+// so a select constraint must merge the condition's and both arms'
+// partitions, and verdicts must account for either arm.
+TEST(SolverCrossPartition, SelectMergesConditionAndArmPartitions) {
+  auto array = std::make_shared<Array>("xps", 8);
+  const ExprRef cond = mk_ult(mk_read(array, 0), mk_const(0x80, 8));
+  const ExprRef then_e = mk_read(array, 2);
+  const ExprRef else_e = mk_read(array, 4);
+  ConstraintSet cs;
+  cs.add(mk_eq(mk_read(array, 2), mk_const(5, 8)));
+  cs.add(mk_eq(mk_read(array, 4), mk_const(9, 8)));
+  ASSERT_EQ(cs.num_partitions(), 2u);
+  cs.add(mk_eq(mk_select(cond, then_e, else_e), mk_const(5, 8)));
+  EXPECT_EQ(cs.num_partitions(), 1u);
+
+  VClock clock;
+  Stats stats;
+  Solver solver(clock, stats);
+  // Feasible only via the THEN arm: byte0 < 0x80 must be derivable.
+  Assignment model;
+  ASSERT_EQ(solver.check_sat(cs, mk_ult(mk_read(array, 0), mk_const(0x80, 8)),
+                             &model),
+            SolverResult::kSat);
+  EXPECT_EQ(model.byte(array.get(), 2), 5);
+  // The ELSE arm would need select == 9, contradicting the select
+  // constraint; byte0 >= 0x80 is therefore infeasible, and discovering
+  // that requires the sliced query to drag in all three constraints.
+  EXPECT_EQ(solver.check_sat(cs, mk_uge(mk_read(array, 0), mk_const(0x80, 8))),
+            SolverResult::kUnsat);
+}
+
+// Re-querying after a partition's content changed must not resurrect stale
+// partition-keyed results: the cached model for the OLD partition content
+// fails replay verification, and the verdict stays correct.
+TEST(SolverCrossPartition, PartitionReuseSurvivesContentChanges) {
+  auto array = std::make_shared<Array>("xpr", 4);
+  const ExprRef b0 = mk_read(array, 0);
+  VClock clock;
+  Stats stats;
+  Solver solver(clock, stats);
+  ConstraintSet cs;
+  cs.add(mk_ult(mk_const(0x40, 8), b0));
+  Assignment m1;
+  ASSERT_EQ(solver.check_sat(cs, mk_ult(b0, mk_const(0x80, 8)), &m1),
+            SolverResult::kSat);
+  cs.add(mk_ult(b0, mk_const(0x80, 8)));
+  // Narrow the same partition further; any model cached above that chose
+  // a byte >= 0x60 must be rejected by replay, not trusted.
+  cs.add(mk_ult(b0, mk_const(0x60, 8)));
+  Assignment m2;
+  ASSERT_EQ(solver.check_sat(cs, mk_ult(mk_const(0x50, 8), b0), &m2),
+            SolverResult::kSat);
+  EXPECT_GT(m2.byte(array.get(), 0), 0x50);
+  EXPECT_LT(m2.byte(array.get(), 0), 0x60);
+  EXPECT_EQ(solver.check_sat(cs, mk_ult(mk_const(0x60, 8), b0)),
+            SolverResult::kUnsat);
+}
 
 TEST(SolverDeferredEquality, ChecksumBytesAreBackComputed) {
   // Eq(sum-of-data, stored-assembly) where the stored bytes appear nowhere
