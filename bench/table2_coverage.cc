@@ -28,7 +28,10 @@ int main(int argc, char** argv) {
   // seed run drags symbolically, and gif2tiff's LZW decoder blows past the
   // instruction cap at scale >= 2 (concolic blowup), while pngtest's
   // chunk walk saturates at 2. readelf/dwarfdump need 6 to reach their
-  // deep section/DIE tables.
+  // deep section/DIE tables. Changing a scale redefines this benchmark:
+  // goldens straddling such a change are different experiments, so
+  // cross-change deltas for the retuned targets attribute nothing (see
+  // EXPERIMENTS.md, Table II comparability note).
   struct TargetScale {
     const char* driver;
     std::uint32_t seed_scale;

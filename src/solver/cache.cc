@@ -56,19 +56,19 @@ bool models_equal(const ModelBytes& a, const ModelBytes& b) {
   return true;
 }
 
-// --- CexStore ---------------------------------------------------------------
+namespace cex_detail {
 
-void CexStore::add_model(std::uint64_t key, const ModelBytes& model) {
-  auto& list = models_[key];
+void bounded_add_model(std::vector<ModelBytes>& list, const ModelBytes& model,
+                       std::size_t max_per_key) {
   for (const auto& existing : list)
-    if (models_equal(existing, model)) return;  // bounded: kMaxPerKey checks
+    if (models_equal(existing, model)) return;  // bounded: max_per_key checks
   list.push_back(model);
-  if (list.size() > kMaxPerKey) list.erase(list.begin());
+  if (list.size() > max_per_key) list.erase(list.begin());
 }
 
-void CexStore::add_unsat_core(std::uint64_t key,
-                              const std::vector<std::uint64_t>& core) {
-  auto& list = unsat_[key];
+void bounded_add_core(std::vector<std::vector<std::uint64_t>>& list,
+                      const std::vector<std::uint64_t>& core,
+                      std::size_t max_per_key) {
   for (const auto& existing : list)
     if (existing == core) return;
   // Prefer retaining SMALL cores: a small core subsumes more supersets.
@@ -78,7 +78,20 @@ void CexStore::add_unsat_core(std::uint64_t key,
       [](const std::vector<std::uint64_t>& a,
          const std::vector<std::uint64_t>& b) { return a.size() < b.size(); });
   list.insert(pos, core);
-  if (list.size() > kMaxPerKey) list.pop_back();
+  if (list.size() > max_per_key) list.pop_back();
+}
+
+}  // namespace cex_detail
+
+// --- CexStore ---------------------------------------------------------------
+
+void CexStore::add_model(std::uint64_t key, const ModelBytes& model) {
+  cex_detail::bounded_add_model(models_[key], model, kMaxPerKey);
+}
+
+void CexStore::add_unsat_core(std::uint64_t key,
+                              const std::vector<std::uint64_t>& core) {
+  cex_detail::bounded_add_core(unsat_[key], core, kMaxPerKey);
 }
 
 std::size_t CexStore::num_models() const {
@@ -170,11 +183,7 @@ void ShardedQueryCache::publish_model(std::uint64_t key,
                                       const ModelBytes& model) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(lock_counted(shard.mu), std::adopt_lock);
-  auto& list = shard.models[key];
-  for (const auto& existing : list)
-    if (models_equal(existing, model)) return;
-  list.push_back(model);
-  if (list.size() > CexStore::kMaxPerKey) list.erase(list.begin());
+  cex_detail::bounded_add_model(shard.models[key], model, CexStore::kMaxPerKey);
 }
 
 std::vector<std::vector<std::uint64_t>> ShardedQueryCache::partition_unsat_cores(
@@ -190,15 +199,7 @@ void ShardedQueryCache::publish_unsat_core(
     std::uint64_t key, const std::vector<std::uint64_t>& core) {
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(lock_counted(shard.mu), std::adopt_lock);
-  auto& list = shard.cores[key];
-  for (const auto& existing : list)
-    if (existing == core) return;
-  const auto pos = std::upper_bound(
-      list.begin(), list.end(), core,
-      [](const std::vector<std::uint64_t>& a,
-         const std::vector<std::uint64_t>& b) { return a.size() < b.size(); });
-  list.insert(pos, core);
-  if (list.size() > CexStore::kMaxPerKey) list.pop_back();
+  cex_detail::bounded_add_core(shard.cores[key], core, CexStore::kMaxPerKey);
 }
 
 ShardedQueryCache::Counters ShardedQueryCache::counters() const {

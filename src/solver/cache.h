@@ -60,6 +60,21 @@ using ModelBytes = std::vector<std::pair<ArrayRef, std::vector<std::uint8_t>>>;
 /// until a second campaign actually contributes foreign entries.
 bool models_equal(const ModelBytes& a, const ModelBytes& b);
 
+namespace cex_detail {
+/// Bounded, deduplicated per-key insertion shared by the L1 CexStore and
+/// the L2 shard maps. The solver's single-campaign tick parity (verbatim
+/// L2 copies of L1 entries are skipped uncharged) requires the two layers
+/// to hold entry-for-entry identical lists, so the dedup / ordering /
+/// eviction policy must be ONE piece of code, not two that happen to
+/// agree. Models: FIFO, evict oldest. Cores: sorted ascending by size
+/// (small cores subsume more supersets), evict largest.
+void bounded_add_model(std::vector<ModelBytes>& list, const ModelBytes& model,
+                       std::size_t max_per_key);
+void bounded_add_core(std::vector<std::vector<std::uint64_t>>& list,
+                      const std::vector<std::uint64_t>& core,
+                      std::size_t max_per_key);
+}  // namespace cex_detail
+
 /// Exact-match solver cache.
 class QueryCache {
  public:

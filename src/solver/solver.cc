@@ -212,6 +212,16 @@ CachingEvaluator& Solver::hint_evaluator(const HintRef& hint) {
   return *slot;
 }
 
+void Solver::memo_store(std::uint64_t key, const DomainMap& domains,
+                        std::uint32_t delta_depth) {
+  if (domain_memo_.size() >= options_.max_domain_memo_entries)
+    domain_memo_.clear();  // deterministic wholesale reset
+  const auto [it, inserted] =
+      domain_memo_.try_emplace(key, DomainMemoEntry{domains, delta_depth});
+  if (!inserted && delta_depth < it->second.delta_depth)
+    it->second = DomainMemoEntry{domains, delta_depth};
+}
+
 void Solver::publish_sat(const SliceCtx& ctx, const ModelBytes& model) {
   if (!options_.use_cache || !options_.use_cex_cache) return;
   // Region ids are stable while a partition grows (the min member-site
@@ -456,6 +466,7 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
   // domains.
   DomainMap domains;
   bool feasible = false;
+  std::uint32_t memo_depth = 0;  // delta layers behind `domains`
   if (options_.use_domain_memo && ctx.query != nullptr &&
       std::count(constraints.begin(), constraints.end(), ctx.query) == 1) {
     std::vector<ExprRef> prefix;
@@ -465,23 +476,27 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
     const std::uint64_t prefix_key =
         key ^ mix_constraint_hash(ctx.query->hash());
     const std::vector<ExprRef> added{ctx.query};
-    if (const auto it = domain_memo_.find(prefix_key);
-        it != domain_memo_.end()) {
-      domains = it->second;       // copy: the memo entry stays pristine
-      evals += domains.size();    // charged like any other solver work
+    const auto it = domain_memo_.find(prefix_key);
+    if (it != domain_memo_.end() &&
+        it->second.delta_depth < options_.max_domain_memo_delta_depth) {
+      domains = it->second.domains;  // copy: the memo entry stays pristine
+      evals += domains.size();       // charged like any other solver work
+      memo_depth = it->second.delta_depth + 1;
       stats_.add(ids().domain_memo_hits);
       obs::trace_instant(obs::Category::kSolver, ids().ev_domain_memo_hit,
                          clock_.now());
       feasible = propagate_delta(prefix, added, domains, evals);
     } else {
-      // Miss: propagate the prefix alone and memoize THAT before layering
-      // the query on, so the sibling query (the branch's other direction
-      // shares the exact prefix) and the path's next query both hit.
+      // Miss — or the entry has exhausted its delta budget, in which case
+      // full propagation is recomputed (and re-memoized at depth 0) so
+      // one-pass delta imprecision cannot compound along a path.
+      // Memoizing the prefix alone before layering the query on lets the
+      // sibling query (the branch's other direction shares the exact
+      // prefix) and the path's next query both hit.
       feasible = propagate_domains(prefix, domains, evals);
       if (feasible) {
-        if (domain_memo_.size() >= options_.max_domain_memo_entries)
-          domain_memo_.clear();  // deterministic wholesale reset
-        domain_memo_.emplace(prefix_key, domains);
+        memo_store(prefix_key, domains, 0);
+        memo_depth = 1;
         feasible = propagate_delta(prefix, added, domains, evals);
       }
     }
@@ -503,9 +518,7 @@ SolverResult Solver::solve_core(const std::vector<ExprRef>& constraints,
   if (options_.use_domain_memo) {
     // Memoize the full list's domains: when the engine extends this path,
     // the next query's prefix IS this list and probes exactly this key.
-    if (domain_memo_.size() >= options_.max_domain_memo_entries)
-      domain_memo_.clear();
-    domain_memo_.emplace(key, domains);
+    memo_store(key, domains, memo_depth);
   }
 
   // Bounded backtracking search, staged:
@@ -590,7 +603,17 @@ SolverResult Solver::check_sat(const ConstraintSet& cs, const ExprRef& query,
   SliceCtx ctx;
   ctx.partitions = std::move(slice.partitions);
   if (!query->is_true()) {
-    slice.constraints.push_back(query);
+    // The query may already be a member of `cs` (validate_model's repair
+    // path re-checks a path constraint), in which case the slice already
+    // contains it. Appending it again would double its hash in the
+    // order-insensitive XOR cache key — the duplicate cancels and the key
+    // collapses to the key of the list WITHOUT the query, filing
+    // query-narrowed results (domain memo, exact caches, UNSAT cores)
+    // under the weaker list's identity.
+    const bool already_present =
+        std::any_of(slice.constraints.begin(), slice.constraints.end(),
+                    [&](const ExprRef& c) { return c.get() == query.get(); });
+    if (!already_present) slice.constraints.push_back(query);
     ctx.query = query;
     // Also file/probe under the region id the touched partitions will
     // carry once the query joins the path (min over touched ids and the

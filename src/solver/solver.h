@@ -58,6 +58,13 @@ struct SolverOptions {
   std::size_t max_model_replays = 4;
   /// Domain-memo entries retained before a deterministic wholesale clear.
   std::size_t max_domain_memo_entries = 4096;
+  /// Consecutive propagate_delta refinements a memo entry may accumulate
+  /// before the solver recomputes full propagation from scratch. Delta
+  /// propagation runs only one interval pass over the prefix (no second
+  /// fixpoint round, no per-byte re-enumeration), so each delta layer may
+  /// retain domains a full pass would have narrowed; bounding the chain
+  /// bounds the cumulative precision loss along a path.
+  std::uint32_t max_domain_memo_delta_depth = 8;
   /// Optional shared L2 cache (thread-safe, sharded). When set, the solver
   /// consults it after an L1 miss and publishes every solved query into it
   /// — whole queries AND partition-keyed partial results — so concurrent
@@ -149,17 +156,31 @@ class Solver {
                    1);
   }
 
+  /// Stores `domains` in the memo under `key`. `delta_depth` counts the
+  /// propagate_delta layers behind the domains (0 = full propagation). An
+  /// existing entry is only replaced by one with a strictly smaller depth:
+  /// for the same content key, fewer delta layers means domains at least
+  /// as narrow.
+  void memo_store(std::uint64_t key, const DomainMap& domains,
+                  std::uint32_t delta_depth);
+
   VClock& clock_;
   Stats& stats_;
   SolverOptions options_;
   QueryCache cache_;
   /// Partition-keyed counterexample store (models + UNSAT cores).
   CexStore cex_;
+  struct DomainMemoEntry {
+    DomainMap domains;
+    /// propagate_delta refinements since the last full propagation; entries
+    /// at max_domain_memo_delta_depth are recomputed rather than extended.
+    std::uint32_t delta_depth = 0;
+  };
   /// Propagated byte domains memoized by the content hash of the
   /// constraint list they were computed from (the "prefix": the sliced
   /// list without the query). Entries are only written after a propagation
   /// that did NOT prove UNSAT, so a hit always seeds feasible domains.
-  std::unordered_map<std::uint64_t, DomainMap> domain_memo_;
+  std::unordered_map<std::uint64_t, DomainMemoEntry> domain_memo_;
   std::unordered_map<const Assignment*, std::shared_ptr<CachingEvaluator>>
       hint_evaluators_;
 };

@@ -254,6 +254,58 @@ TEST(SolverIncremental, DomainMemoSeedsExtensionQueries) {
   EXPECT_GE(stats.get("solver.domain_memo_hits"), 1u);
 }
 
+TEST(SolverIncremental, MemberQueryDoesNotPoisonSiblingMemo) {
+  // validate_model's repair path re-checks a constraint that is already a
+  // member of the set, so the sliced list already contains the query.
+  // Regression: appending it again doubled its hash in the order-
+  // insensitive XOR cache key (the duplicate cancels), filing domains
+  // narrowed by the query under the key of the list WITHOUT it; a sibling
+  // state forked before the constraint was added then seeded those
+  // over-narrowed domains from the memo and returned a wrong UNSAT.
+  auto array = make_array();
+  SolverFixture f;
+  const ExprRef b0 = mk_read(array, 0);
+  const ExprRef p = mk_ult(b0, mk_const(200, 8));
+  const ExprRef q = mk_eq(b0, mk_const(5, 8));
+  ConstraintSet with_q;
+  with_q.add(p);
+  with_q.add(q);
+  ASSERT_EQ(f.solver.check_sat(with_q, q), SolverResult::kSat);
+
+  // The sibling's prefix is exactly [p]; b0 == 7 is feasible under it.
+  ConstraintSet without_q;
+  without_q.add(p);
+  Assignment model;
+  ASSERT_EQ(f.solver.check_sat(without_q, mk_eq(b0, mk_const(7, 8)), &model),
+            SolverResult::kSat);
+  EXPECT_EQ(model.byte(array.get(), 0), 7);
+}
+
+TEST(SolverIncremental, DomainMemoDeltaChainIsBounded) {
+  auto array = make_array();
+  VClock clock;
+  Stats stats;
+  SolverOptions options;
+  options.use_cex_cache = false;  // isolate the memo from model replay
+  options.max_domain_memo_delta_depth = 2;
+  Solver solver(clock, stats, options);
+  const ExprRef b0 = mk_read(array, 0);
+  ConstraintSet cs;
+  cs.add(mk_ult(mk_const(2, 8), b0));
+  // Walk a path: each query tightens the bound and joins the set.
+  for (unsigned bound = 0xF0; bound >= 0x80; bound -= 0x10) {
+    const ExprRef q = mk_ult(b0, mk_const(bound, 8));
+    ASSERT_EQ(solver.check_sat(cs, q), SolverResult::kSat);
+    cs.add(q);
+  }
+  // Extensions hit the memo, but not all of them: an entry that has
+  // accumulated max_domain_memo_delta_depth delta layers is recomputed
+  // from scratch (a miss) instead of being extended further.
+  const std::uint64_t hits = stats.get("solver.domain_memo_hits");
+  EXPECT_GE(hits, 1u);
+  EXPECT_LT(hits, 7u);
+}
+
 TEST(SolverIncremental, DisabledFlagsFallBackToBaselinePipeline) {
   auto array = make_array();
   VClock clock;
