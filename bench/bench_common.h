@@ -30,6 +30,14 @@ struct BenchConfig {
   bool quick = false;
   unsigned jobs = 1;
   bool share_cache = true;
+  /// Interpolant-based state subsumption (--no-subsumption turns it off;
+  /// both flags off reproduces the pre-subsumption engine tick-for-tick).
+  bool subsumption = true;
+  /// Fingerprint-based exact-duplicate state dedup (--no-fingerprint-dedup).
+  bool fingerprint_dedup = true;
+  /// When non-empty, run only the section with this name (ablation
+  /// harnesses; other benches ignore it).
+  std::string only;
   std::string trace_path;
 
   core::ParallelOptions parallel() const {
@@ -37,6 +45,15 @@ struct BenchConfig {
     p.jobs = jobs;
     p.share_solver_cache = share_cache;
     return p;
+  }
+
+  /// Applies the subsumption/dedup flags and the campaign's identity (for
+  /// cross-worker fingerprint attribution) to a campaign's executor
+  /// options. Every campaign body should call this.
+  void apply_pruning(vm::ExecutorOptions& exec, std::size_t campaign_index) const {
+    exec.use_subsumption = subsumption;
+    exec.use_fingerprint_dedup = fingerprint_dedup;
+    exec.campaign_index = static_cast<std::uint32_t>(campaign_index);
   }
 };
 
@@ -52,12 +69,19 @@ inline BenchConfig parse_args(int argc, char** argv) {
       if (config.jobs == 0) config.jobs = 1;
     } else if (std::strcmp(argv[i], "--no-share-cache") == 0) {
       config.share_cache = false;
+    } else if (std::strcmp(argv[i], "--no-subsumption") == 0) {
+      config.subsumption = false;
+    } else if (std::strcmp(argv[i], "--no-fingerprint-dedup") == 0) {
+      config.fingerprint_dedup = false;
+    } else if (std::strncmp(argv[i], "--only=", 7) == 0) {
+      config.only = argv[i] + 7;
     } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       config.trace_path = argv[i] + 8;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--jobs=N] [--no-share-cache] "
-                   "[--trace=PATH]\n",
+                   "[--no-subsumption] [--no-fingerprint-dedup] "
+                   "[--only=SECTION] [--trace=PATH]\n",
                    argv[0]);
       std::exit(2);
     }

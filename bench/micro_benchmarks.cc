@@ -3,10 +3,13 @@
 // independence on/off), k-means clustering, and raw interpretation speed.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "concolic/concolic_executor.h"
 #include "expr/evaluator.h"
 #include "obs/trace.h"
 #include "phase/kmeans.h"
+#include "solver/interpolant.h"
 #include "solver/solver.h"
 #include "targets/targets.h"
 #include "vm/executor.h"
@@ -215,6 +218,54 @@ void BM_SolverDomainPropagation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SolverDomainPropagation)->Arg(0)->Arg(1);
+
+// --- Subsumption-layer micro-benchmarks (DESIGN.md §10) ---------------------
+
+// Interpolant-table probe at a populated location: the per-block-entry
+// cost paid by every symbolic state when subsumption is on. Arg is the
+// probing state's constraint count; the table holds kMaxPerKey summaries
+// at the location. Worst case (all summaries scanned, no hit) — a real
+// probe exits early on the first subsuming summary.
+void BM_InterpolantLookup(benchmark::State& state) {
+  InterpolantTable table;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  // Summaries that share a prefix with the probe but each contain one
+  // hash the probe lacks, forcing std::includes to scan.
+  for (std::size_t c = 0; c < InterpolantTable::kMaxPerKey; ++c) {
+    std::vector<std::uint64_t> core;
+    for (std::size_t i = 0; i < 8; ++i)
+      core.push_back(mix_constraint_hash(i * 3 + c * 101 + 1));
+    std::sort(core.begin(), core.end());
+    table.add_barren(/*location=*/7, core);
+  }
+  std::vector<std::uint64_t> hashes;
+  for (std::size_t i = 0; i < n; ++i)
+    hashes.push_back(mix_constraint_hash(i + 1));
+  std::sort(hashes.begin(), hashes.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.barren_subsumes(7, hashes));
+    benchmark::DoNotOptimize(table.barren_subsumes(8, hashes));  // empty loc
+  }
+}
+BENCHMARK(BM_InterpolantLookup)->Arg(16)->Arg(256);
+
+// Incremental fingerprint maintenance: the per-byte XOR update the
+// executor pays on every store when pruning is on (old term out, new term
+// in). Arg bytes per iteration — compare ns/byte against store dispatch
+// cost in BM_ConcreteInterpretation.
+void BM_FingerprintUpdate(benchmark::State& state) {
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t fp = 0, old_hash = 0x1234, new_hash = 0x5678;
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < n; ++i)
+      fp ^= vm::fp_term(3, i, old_hash) ^ vm::fp_term(3, i, new_hash);
+    benchmark::DoNotOptimize(fp);
+    std::swap(old_hash, new_hash);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_FingerprintUpdate)->Arg(8)->Arg(64);
 
 // The disabled-path cost of an instrumentation site: one relaxed atomic
 // load and a branch, with no argument evaluation. Compare against

@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
         options.searcher = kind;
         options.sym_file_size = size;
         options.solver.shared_cache = ctx.shared_cache;
+        config.apply_pruning(options.executor, ctx.index);
         core::KleeRun run(module, "main", options);
         run.run(config.hour1);
         const std::uint64_t h1 = run.executor().num_covered();
@@ -72,6 +73,7 @@ int main(int argc, char** argv) {
       const auto seed = targets::make_melf_seed(scale);
       core::PbseOptions options;
       options.solver.shared_cache = ctx.shared_cache;
+      config.apply_pruning(options.executor, ctx.index);
       core::PbseDriver driver(module, "main", options);
       core::CampaignOutcome out;
       if (!driver.prepare(seed)) return out;

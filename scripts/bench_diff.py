@@ -4,8 +4,10 @@
 Wall-clock fields (wall_seconds) vary run to run and are ignored; coverage,
 ticks, bug counts, and solver-cache counters — including the incremental
 pipeline's hit classes (partition_hits, model_reuse, model_replays,
-domain_memo_hits) — are virtual-clock-deterministic for a fixed bench
-configuration, so any drift is a real behaviour change and fails the check.
+domain_memo_hits) and the subsumption layer's kill classes (subsumed_*,
+fingerprint_kills, interpolants_published) — are virtual-clock-deterministic
+for a fixed bench configuration, so any drift is a real behaviour change and
+fails the check.
 Usage: bench_diff.py <golden.json> <fresh.json>
 """
 import json
@@ -25,6 +27,13 @@ SOLVER_CACHE_KEYS = (
     "model_reuse",
     "model_replays",
     "domain_memo_hits",
+    "subsumed_unsat",
+    "subsumed_barren",
+    "subsumed_seedstates",
+    "fingerprint_kills",
+    "fingerprint_shared_kills",
+    "interpolants_published",
+    "states_forked",
     "queries",
 )
 

@@ -37,4 +37,14 @@ python3 scripts/bench_diff.py "$BUILD_DIR/BENCH_golden.json" BENCH_pbse.json
 # passing run leaves behind is nothing at all (wall_seconds would churn).
 mv "$BUILD_DIR/BENCH_golden.json" BENCH_pbse.json
 
+# Subsumption ablation gate (DESIGN.md §10): runs pbSE with pruning on and
+# off side by side. The binary itself exits nonzero if the pruned run loses
+# coverage; the diff then pins both modes' deterministic numbers (the off
+# campaign IS the pre-subsumption engine) against the committed golden.
+cp BENCH_ablation_subsumption.json "$BUILD_DIR/BENCH_abl_golden.json"
+"./$BUILD_DIR/bench/ablation_pbse" --quick --only=subsumption --jobs=2 --no-share-cache 2>&1 \
+  | tee "$BUILD_DIR/ablation.log"
+python3 scripts/bench_diff.py "$BUILD_DIR/BENCH_abl_golden.json" BENCH_ablation_subsumption.json
+mv "$BUILD_DIR/BENCH_abl_golden.json" BENCH_ablation_subsumption.json
+
 echo "check.sh: OK"

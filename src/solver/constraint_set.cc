@@ -72,6 +72,9 @@ bool ConstraintSet::add(const ExprRef& c) {
   // equal-hash constraints don't cancel.
   const std::uint64_t mixed = mix_constraint_hash(c->hash());
   hash_ ^= mixed;
+  sorted_hashes_.insert(
+      std::lower_bound(sorted_hashes_.begin(), sorted_hashes_.end(), mixed),
+      mixed);
 
   // Union every site the constraint reads into one partition. A width-1
   // non-constant expression always contains at least one read, but guard

@@ -63,6 +63,14 @@ class ConstraintSet {
   /// cache key together with a query hash.
   std::uint64_t hash() const { return hash_; }
 
+  /// The contained constraints' mixed hashes in ascending order, maintained
+  /// incrementally on add(). This is the representation UNSAT cores and
+  /// interpolants are expressed in: "core c subsumes this set" is one
+  /// std::includes over the two sorted vectors, with no per-probe sorting.
+  const std::vector<std::uint64_t>& sorted_hashes() const {
+    return sorted_hashes_;
+  }
+
   /// True if `c` is syntactically present.
   bool contains(const ExprRef& c) const;
 
@@ -110,6 +118,9 @@ class ConstraintSet {
   /// checks are a pointer-set lookup.
   std::unordered_set<const Expr*> present_;
   std::uint64_t hash_ = 0x243f6a8885a308d3ULL;
+  /// Mixed constraint hashes, kept sorted (sorted-insert on add; adds are
+  /// far rarer than the block-entry subsumption probes that read this).
+  std::vector<std::uint64_t> sorted_hashes_;
 
   // --- Persistent independence partition ---------------------------------
   /// (array pointer, index) site key -> union-find node.

@@ -28,6 +28,7 @@
 #include "expr/expr.h"
 #include "solver/cache.h"
 #include "solver/constraint_set.h"
+#include "solver/interpolant.h"
 #include "solver/interval.h"
 #include "support/stats.h"
 #include "support/vclock.h"
@@ -115,6 +116,25 @@ class Solver {
   CexStore& cex_store() { return cex_; }
   std::size_t domain_memo_size() const { return domain_memo_.size(); }
 
+  /// No current interpolant location (cores are not filed per-location).
+  static constexpr std::uint64_t kNoInterpolantLocation = ~std::uint64_t{0};
+
+  /// Per-location interpolants derived from the UNSAT cores this solver
+  /// proves. The executor sets the current global basic block before
+  /// issuing branch/validation queries and probes the table at block
+  /// entry; the solver only FILLS it (publish_unsat files each core under
+  /// the location as well as under the touched partitions).
+  InterpolantTable& interpolants() { return interpolants_; }
+  const InterpolantTable& interpolants() const { return interpolants_; }
+
+  /// Sets the global basic block subsequent UNSAT cores are attributed to.
+  /// kNoInterpolantLocation (the default) disables interpolant filing —
+  /// the executor only sets a location when subsumption is enabled, which
+  /// keeps the off-mode solver byte-identical in behavior.
+  void set_interpolant_location(std::uint64_t location) {
+    interpolant_location_ = location;
+  }
+
  private:
   /// Slice metadata threaded through the pipeline: which independence
   /// partitions the query touches (counterexample / domain-memo keys) and
@@ -181,6 +201,8 @@ class Solver {
   /// list without the query). Entries are only written after a propagation
   /// that did NOT prove UNSAT, so a hit always seeds feasible domains.
   std::unordered_map<std::uint64_t, DomainMemoEntry> domain_memo_;
+  InterpolantTable interpolants_;
+  std::uint64_t interpolant_location_ = kNoInterpolantLocation;
   std::unordered_map<const Assignment*, std::shared_ptr<CachingEvaluator>>
       hint_evaluators_;
 };

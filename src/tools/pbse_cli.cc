@@ -43,6 +43,8 @@ struct Args {
   unsigned seed_scale = 6;
   unsigned jobs = 1;
   bool share_cache = true;
+  bool subsumption = true;
+  bool fingerprint_dedup = true;
   std::string trace_path;
 };
 
@@ -57,6 +59,9 @@ int usage() {
                "  --seed-scale=K seed generator scale (default 6)\n"
                "  --jobs=N       worker threads for multi-target campaigns\n"
                "  --no-share-cache  per-campaign private solver caches\n"
+               "  --no-subsumption  disable interpolant state subsumption\n"
+               "  --no-fingerprint-dedup  disable duplicate-state "
+               "fingerprints\n"
                "  --target=NAME  alternative to the positional <target>\n"
                "  --trace=PATH   capture a trace (.json -> Chrome "
                "trace_event,\n"
@@ -96,6 +101,10 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.trace_path = v;
     } else if (arg == "--no-share-cache") {
       args.share_cache = false;
+    } else if (arg == "--no-subsumption") {
+      args.subsumption = false;
+    } else if (arg == "--no-fingerprint-dedup") {
+      args.fingerprint_dedup = false;
     } else {
       return false;
     }
@@ -202,6 +211,9 @@ int cmd_klee(const Args& args) {
       options.searcher = args.searcher;
       options.sym_file_size = args.sym_size;
       options.solver.shared_cache = ctx.shared_cache;
+      options.executor.use_subsumption = args.subsumption;
+      options.executor.use_fingerprint_dedup = args.fingerprint_dedup;
+      options.executor.campaign_index = static_cast<std::uint32_t>(ctx.index);
       core::KleeRun run(module, "main", options);
       run.run(args.budget);
       core::CampaignOutcome out;
@@ -236,6 +248,9 @@ int cmd_run(const Args& args) {
       const auto seed = info->seed(args.seed_scale);
       core::PbseOptions options;
       options.solver.shared_cache = ctx.shared_cache;
+      options.executor.use_subsumption = args.subsumption;
+      options.executor.use_fingerprint_dedup = args.fingerprint_dedup;
+      options.executor.campaign_index = static_cast<std::uint32_t>(ctx.index);
       core::PbseDriver driver(module, "main", options);
       core::CampaignOutcome out;
       if (!driver.prepare(seed)) {
