@@ -17,6 +17,7 @@
 #include "core/driver.h"
 #include "core/parallel.h"
 #include "obs/trace.h"
+#include "support/argparse.h"
 #include "support/table.h"
 #include "targets/targets.h"
 
@@ -65,8 +66,12 @@ inline BenchConfig parse_args(int argc, char** argv) {
       config.hour1 /= 10;
       config.hour10 /= 10;
     } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
-      config.jobs = static_cast<unsigned>(std::strtoul(argv[i] + 7, nullptr, 10));
-      if (config.jobs == 0) config.jobs = 1;
+      std::string error;
+      if (!support::parse_positive_count("--jobs", argv[i] + 7, config.jobs,
+                                         error)) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--no-share-cache") == 0) {
       config.share_cache = false;
     } else if (std::strcmp(argv[i], "--no-subsumption") == 0) {

@@ -6,9 +6,13 @@
 #include <algorithm>
 
 #include "concolic/concolic_executor.h"
+#include "core/driver.h"
 #include "expr/evaluator.h"
 #include "obs/trace.h"
 #include "phase/kmeans.h"
+#include "serialize/campaign_codec.h"
+#include "serialize/pbss.h"
+#include "serialize/state_codec.h"
 #include "solver/interpolant.h"
 #include "solver/solver.h"
 #include "targets/targets.h"
@@ -285,6 +289,59 @@ void BM_TraceBaselineLoop(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(++tick);
 }
 BENCHMARK(BM_TraceBaselineLoop);
+
+// --- pbss snapshot cost (DESIGN.md §11) --------------------------------------
+
+// Serializing one mid-run ExecutionState: expr DAG (hash-consing preserved
+// via the dedup table), COW memory objects, constraint partitions, stack.
+// The state is evolved past the readelf header checks so it carries a
+// realistic path condition; range(0) picks how deep.
+void BM_SnapshotState(benchmark::State& state) {
+  const ir::Module module = targets::build_target(targets::readelf_source());
+  VClock clock;
+  Stats stats;
+  Solver solver{clock, stats};
+  vm::Executor executor(module, solver, clock, stats);
+  auto input = std::make_shared<Array>("file", 100);
+  auto subject = executor.make_initial_state("main", input, {});
+  std::vector<std::unique_ptr<vm::ExecutionState>> forked;
+  for (int i = 0; i < state.range(0) && !subject->done(); ++i) {
+    executor.step(*subject, forked);
+    // Depth-first down the first child keeps ONE state growing instead of
+    // hopping across shallow siblings.
+    if (subject->done() && !forked.empty()) {
+      subject = std::move(forked.back());
+      forked.pop_back();
+    }
+  }
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    serialize::StateCodec codec;
+    serialize::Encoder enc;
+    codec.encode_state(enc, *subject);
+    bytes = enc.size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_SnapshotState)->Arg(200)->Arg(2000);
+
+// Whole-campaign snapshot (what pbse-serve pays at every checkpoint): all
+// engine states + searcher position + solver caches + coverage/stats.
+void BM_SnapshotCampaign(benchmark::State& state) {
+  const ir::Module module = targets::build_target(targets::readelf_source());
+  core::KleeRun run(module, "main", {});
+  run.run(static_cast<VClock::Ticks>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    auto snap = serialize::CampaignCodec::snapshot(run);
+    bytes = snap.size();
+    benchmark::DoNotOptimize(snap);
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+  state.counters["states"] = static_cast<double>(run.num_states());
+}
+BENCHMARK(BM_SnapshotCampaign)->Arg(20'000)->Arg(100'000);
 
 }  // namespace
 

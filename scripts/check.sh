@@ -47,4 +47,9 @@ cp BENCH_ablation_subsumption.json "$BUILD_DIR/BENCH_abl_golden.json"
 python3 scripts/bench_diff.py "$BUILD_DIR/BENCH_abl_golden.json" BENCH_ablation_subsumption.json
 mv "$BUILD_DIR/BENCH_abl_golden.json" BENCH_ablation_subsumption.json
 
+# Server smoke (DESIGN.md §11): daemon up, job over the socket, kill -9
+# mid-job, restart, and the recovered job's final coverage must match the
+# uninterrupted reference run of the same spec.
+bash scripts/server_smoke.sh "$BUILD_DIR" 2>&1 | tee "$BUILD_DIR/server_smoke.log"
+
 echo "check.sh: OK"

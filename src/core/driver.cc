@@ -21,6 +21,11 @@ void KleeRun::run(VClock::Ticks budget) {
   engine_->run(Deadline(clock_, budget));
 }
 
+void KleeRun::run_sliced(VClock::Ticks budget,
+                         const std::function<bool()>& batch_stop) {
+  engine_->run(Deadline(clock_, budget), {}, batch_stop);
+}
+
 PbseTestingResult pbse_testing(
     const ir::Module& module, const std::string& entry,
     const std::vector<std::vector<std::uint8_t>>& seeds, VClock::Ticks budget,

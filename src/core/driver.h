@@ -35,12 +35,22 @@ class KleeRun {
   /// Runs for `budget` more ticks.
   void run(VClock::Ticks budget);
 
+  /// Runs for at most `budget` more ticks, also stopping at the first
+  /// BATCH boundary where `batch_stop` returns true. Because batches are
+  /// never truncated, a run sliced this way and resumed from a snapshot
+  /// consumes the searcher/RNG streams exactly like run(budget) would —
+  /// the server's checkpointing depends on that equivalence.
+  void run_sliced(VClock::Ticks budget,
+                  const std::function<bool()>& batch_stop);
+
   vm::Executor& executor() { return *executor_; }
   VClock& clock() { return clock_; }
   Stats& stats() { return stats_; }
   std::size_t num_states() const { return engine_->num_states(); }
 
  private:
+  friend class pbse::serialize::CampaignCodec;
+
   KleeRunOptions options_;
   VClock clock_;
   Stats stats_;

@@ -141,69 +141,79 @@ void PbseDriver::activate_pending(PhaseRuntime& phase) {
   phase.started = true;
 }
 
-void PbseDriver::run(VClock::Ticks budget) {
-  const Deadline overall(clock_, budget);
+void PbseDriver::begin_run() {
+  cursor_.i = 0;
+  cursor_.live.clear();
+  for (std::uint32_t r = 0; r < runtimes_.size(); ++r)
+    cursor_.live.push_back(r);
+}
 
-  // Algorithm 3.
-  std::uint64_t i = 0;
-  std::vector<PhaseRuntime*> live;
-  for (auto& rt : runtimes_) live.push_back(&rt);
+bool PbseDriver::step_turn(const Deadline& overall) {
+  // One iteration of Algorithm 3's rotation loop.
+  auto& live = cursor_.live;
+  if (live.empty() || overall.expired()) return false;
 
-  while (!live.empty() && !overall.expired()) {
-    const std::size_t phase_index = i % live.size();
-    const std::uint64_t turn = i / live.size() + 1;
-    ++i;
-    PhaseRuntime& phase = *live[phase_index];
+  const std::size_t phase_index = cursor_.i % live.size();
+  const std::uint64_t turn = cursor_.i / live.size() + 1;
+  ++cursor_.i;
+  PhaseRuntime& phase = runtimes_[live[phase_index]];
 
-    if (!phase.started) activate_pending(phase);
-    if (phase.searcher->empty()) {
-      obs::trace_instant(
-          obs::Category::kSched, ids().ev_retired, clock_.now(),
-          phase.phase_id, ids().arg_phase,
-          static_cast<std::uint64_t>(RetireReason::kExhausted),
-          ids().arg_reason);
-      live.erase(live.begin() + static_cast<std::ptrdiff_t>(phase_index));
-      // Re-balance i so the rotation stays aligned after erasure.
-      if (!live.empty()) i = (i - 1) % live.size();
-      continue;
+  if (!phase.started) activate_pending(phase);
+  if (phase.searcher->empty()) {
+    obs::trace_instant(
+        obs::Category::kSched, ids().ev_retired, clock_.now(),
+        phase.phase_id, ids().arg_phase,
+        static_cast<std::uint64_t>(RetireReason::kExhausted),
+        ids().arg_reason);
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(phase_index));
+    // Re-balance i so the rotation stays aligned after erasure.
+    if (!live.empty()) cursor_.i = (cursor_.i - 1) % live.size();
+    return !live.empty();
+  }
+
+  const std::uint64_t phase_start = clock_.now();
+  const std::uint64_t period = turn * options_.time_period_ticks;
+  const std::uint64_t covered_before = executor_->num_covered();
+  obs::trace_begin(obs::Category::kSched, ids().ev_turn, phase_start,
+                   phase.phase_id, ids().arg_phase, turn, ids().arg_turn);
+  std::uint64_t last_cover_epoch = executor_->coverage_epoch();
+  std::uint64_t last_cover_ticks = clock_.now();
+  const std::size_t bugs_before = executor_->bugs().size();
+
+  auto stop = [&]() {
+    if (executor_->coverage_epoch() != last_cover_epoch) {
+      last_cover_epoch = executor_->coverage_epoch();
+      last_cover_ticks = clock_.now();
     }
+    // Keep running while within the period, or while still covering new
+    // code (Algorithm 3 line 15).
+    if (clock_.now() - phase_start <= period) return false;
+    return clock_.now() - last_cover_ticks > options_.no_new_cover_window;
+  };
+  phase.engine->run(overall, stop);
 
-    const std::uint64_t phase_start = clock_.now();
-    const std::uint64_t period = turn * options_.time_period_ticks;
-    const std::uint64_t covered_before = executor_->num_covered();
-    obs::trace_begin(obs::Category::kSched, ids().ev_turn, phase_start,
-                     phase.phase_id, ids().arg_phase, turn, ids().arg_turn);
-    std::uint64_t last_cover_epoch = executor_->coverage_epoch();
-    std::uint64_t last_cover_ticks = clock_.now();
-    const std::size_t bugs_before = executor_->bugs().size();
+  // Tag bugs found during this turn with the phase id.
+  for (std::size_t b = bugs_before; b < executor_->bugs().size(); ++b)
+    bug_phases_.push_back(phase.phase_id);
 
-    auto stop = [&]() {
-      if (executor_->coverage_epoch() != last_cover_epoch) {
-        last_cover_epoch = executor_->coverage_epoch();
-        last_cover_ticks = clock_.now();
-      }
-      // Keep running while within the period, or while still covering new
-      // code (Algorithm 3 line 15).
-      if (clock_.now() - phase_start <= period) return false;
-      return clock_.now() - last_cover_ticks > options_.no_new_cover_window;
-    };
-    phase.engine->run(overall, stop);
+  stats_.add(ids().turns);
+  stats_.observe(ids().states_per_phase, phase.engine->num_states());
+  obs::trace_end(obs::Category::kSched, ids().ev_turn, clock_.now(),
+                 phase.engine->num_states(), ids().arg_states,
+                 executor_->num_covered() - covered_before,
+                 ids().arg_cover);
 
-    // Tag bugs found during this turn with the phase id.
-    for (std::size_t b = bugs_before; b < executor_->bugs().size(); ++b)
-      bug_phases_.push_back(phase.phase_id);
+  PBSE_LOG_DEBUG << "pbse phase " << phase.phase_id << " turn " << turn
+                 << ": states=" << phase.engine->num_states()
+                 << " covered=" << executor_->num_covered()
+                 << " clock=" << clock_.now();
+  return true;
+}
 
-    stats_.add(ids().turns);
-    stats_.observe(ids().states_per_phase, phase.engine->num_states());
-    obs::trace_end(obs::Category::kSched, ids().ev_turn, clock_.now(),
-                   phase.engine->num_states(), ids().arg_states,
-                   executor_->num_covered() - covered_before,
-                   ids().arg_cover);
-
-    PBSE_LOG_DEBUG << "pbse phase " << phase.phase_id << " turn " << turn
-                   << ": states=" << phase.engine->num_states()
-                   << " covered=" << executor_->num_covered()
-                   << " clock=" << clock_.now();
+void PbseDriver::run(VClock::Ticks budget) {
+  begin_run();
+  const Deadline overall(clock_, budget);
+  while (step_turn(overall)) {
   }
 }
 

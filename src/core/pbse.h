@@ -28,6 +28,10 @@
 #include "support/vclock.h"
 #include "vm/executor.h"
 
+namespace pbse::serialize {
+class CampaignCodec;
+}
+
 namespace pbse::core {
 
 struct PbseOptions {
@@ -57,7 +61,26 @@ class PbseDriver {
   bool prepare(const std::vector<std::uint8_t>& seed);
 
   /// Step 3: phase-scheduled symbolic execution until the deadline.
+  /// Resets the rotation cursor at entry — calling run() again re-visits
+  /// retired phases exactly as the original driver did (the benches rely
+  /// on this when extending a 1h run to 10h).
   void run(VClock::Ticks budget);
+
+  // --- Sliced execution (server checkpointing) ----------------------------
+  // run(budget) == begin_run() followed by step_turn(overall) until false.
+  // A server job instead calls step_turn once per slice and snapshots
+  // between calls; because a turn is a deterministic unit, the sliced run
+  // is tick- and RNG-identical to the monolithic one.
+
+  /// Resets the Algorithm 3 rotation to its start (all phases live, turn
+  /// counter zero). run() does this implicitly; a RESTORED driver must NOT
+  /// call it — the deserialized cursor already points mid-rotation.
+  void begin_run();
+
+  /// Executes one rotation step (retire an empty phase, or run one phase
+  /// turn) against `overall`. Returns true while live phases and budget
+  /// remain. Cursor state persists across calls.
+  bool step_turn(const Deadline& overall);
 
   // --- Introspection ------------------------------------------------------
   vm::Executor& executor() { return *executor_; }
@@ -79,12 +102,22 @@ class PbseDriver {
   }
 
  private:
+  friend class pbse::serialize::CampaignCodec;
+
   struct PhaseRuntime {
     std::uint32_t phase_id = 0;
     std::unique_ptr<search::Searcher> searcher;
     std::unique_ptr<search::SymbolicEngine> engine;
     std::vector<vm::ForkRecord> pending;  // not yet activated
     bool started = false;
+  };
+
+  /// Algorithm 3's rotation position: the turn counter and the indices of
+  /// runtimes_ still in the rotation. Index-based (not pointer-based) so a
+  /// snapshot can persist it directly.
+  struct TurnCursor {
+    std::uint64_t i = 0;
+    std::vector<std::uint32_t> live;
   };
 
   void activate_pending(PhaseRuntime& phase);
@@ -104,6 +137,7 @@ class PbseDriver {
   std::vector<std::vector<vm::ForkRecord>> phase_seed_states_;
   std::vector<PhaseRuntime> runtimes_;
   std::vector<std::uint32_t> bug_phases_;
+  TurnCursor cursor_;
 
   std::uint64_t c_time_ = 0;
   std::uint64_t p_time_ = 0;

@@ -127,6 +127,11 @@ ExprRef intern(ExprKind kind, unsigned width, std::uint64_t value,
 
 std::size_t intern_table_size() { return intern_table().size(); }
 
+ExprRef mk_raw(ExprKind kind, unsigned width, std::uint64_t value,
+               ArrayRef array, std::vector<ExprRef> kids) {
+  return intern(kind, width, value, std::move(array), std::move(kids));
+}
+
 bool expr_equal(const ExprRef& a, const ExprRef& b) {
   if (a.get() == b.get()) return true;
   if (!a || !b) return false;

@@ -180,6 +180,15 @@ ExprRef mk_lnot(ExprRef e);
 ExprRef mk_land(ExprRef a, ExprRef b);
 ExprRef mk_lor(ExprRef a, ExprRef b);
 
+/// Interns a node with EXACTLY the given shape — no folding, no rewrites.
+/// For deserialization only (src/serialize): a snapshotted node is already
+/// in builder normal form, and re-interning its exact (kind, width, value,
+/// array, kids) tuple is the only construction guaranteed to reproduce it
+/// bit-for-bit regardless of which builder rewrite originally emitted it.
+/// Engine code must keep using the mk_* builders.
+ExprRef mk_raw(ExprKind kind, unsigned width, std::uint64_t value,
+               ArrayRef array, std::vector<ExprRef> kids);
+
 /// Collects the distinct (array, index) byte reads appearing in `e`,
 /// appending to `out` (deduplicated). Used by the solver's independence
 /// slicing and the backtracking search.

@@ -79,6 +79,24 @@ class Histogram {
   /// an over-approximation within one power of two.
   std::uint64_t percentile(double p) const;
 
+  /// Wholesale state replacement, for snapshot restore (src/serialize).
+  /// `min` must be the sentinel ~0 when `count` is 0 (the observe() rep).
+  void set_raw(const std::array<std::uint64_t, kBuckets>& buckets,
+               std::uint64_t count, std::uint64_t sum, std::uint64_t max,
+               std::uint64_t min) {
+    buckets_ = buckets;
+    count_ = count;
+    sum_ = sum;
+    max_ = max;
+    min_ = min;
+  }
+  /// Raw bucket array (snapshot side of set_raw).
+  const std::array<std::uint64_t, kBuckets>& raw_buckets() const {
+    return buckets_;
+  }
+  std::uint64_t raw_max() const { return max_; }
+  std::uint64_t raw_min() const { return min_; }
+
   static unsigned bucket_of(std::uint64_t value) {
     unsigned b = 0;
     while (value != 0) {
@@ -141,6 +159,14 @@ class MetricStore {
   /// nullptr when the id was never observed into.
   const Histogram* histogram(MetricId id) const {
     return id < hists_.size() ? hists_[id].get() : nullptr;
+  }
+
+  /// Histogram slot for `id`, created empty if absent — the restore-side
+  /// counterpart of visit_histograms (src/serialize).
+  Histogram& mutable_histogram(MetricId id) {
+    if (id >= hists_.size()) hists_.resize(id + 1);
+    if (hists_[id] == nullptr) hists_[id] = std::make_unique<Histogram>();
+    return *hists_[id];
   }
 
   void merge(const MetricStore& other);

@@ -26,6 +26,20 @@ class DFSSearcher final : public Searcher {
   bool empty() const override { return states_.empty(); }
   std::string name() const override { return "dfs"; }
 
+  void save_position(std::vector<std::uint64_t>& out) const override {
+    out.push_back(states_.size());
+    for (const auto* s : states_) out.push_back(s->id);
+  }
+  void load_position(const std::vector<std::uint64_t>& words, std::size_t& pos,
+                     const std::unordered_map<std::uint64_t,
+                                              vm::ExecutionState*>& states)
+      override {
+    states_.clear();
+    const std::uint64_t n = words.at(pos++);
+    for (std::uint64_t k = 0; k < n; ++k)
+      states_.push_back(states.at(words.at(pos++)));
+  }
+
  private:
   std::vector<vm::ExecutionState*> states_;
 };
@@ -56,6 +70,20 @@ class BFSSearcher final : public Searcher {
   bool empty() const override { return states_.empty(); }
   std::string name() const override { return "bfs"; }
 
+  void save_position(std::vector<std::uint64_t>& out) const override {
+    out.push_back(states_.size());
+    for (const auto* s : states_) out.push_back(s->id);
+  }
+  void load_position(const std::vector<std::uint64_t>& words, std::size_t& pos,
+                     const std::unordered_map<std::uint64_t,
+                                              vm::ExecutionState*>& states)
+      override {
+    states_.clear();
+    const std::uint64_t n = words.at(pos++);
+    for (std::uint64_t k = 0; k < n; ++k)
+      states_.push_back(states.at(words.at(pos++)));
+  }
+
  private:
   std::deque<vm::ExecutionState*> states_;
 };
@@ -83,6 +111,22 @@ class RandomStateSearcher final : public Searcher {
 
   bool empty() const override { return states_.empty(); }
   std::string name() const override { return "random-state"; }
+
+  // The swap-erase in update() makes the vector ORDER part of the
+  // selection distribution's history; save it verbatim.
+  void save_position(std::vector<std::uint64_t>& out) const override {
+    out.push_back(states_.size());
+    for (const auto* s : states_) out.push_back(s->id);
+  }
+  void load_position(const std::vector<std::uint64_t>& words, std::size_t& pos,
+                     const std::unordered_map<std::uint64_t,
+                                              vm::ExecutionState*>& states)
+      override {
+    states_.clear();
+    const std::uint64_t n = words.at(pos++);
+    for (std::uint64_t k = 0; k < n; ++k)
+      states_.push_back(states.at(words.at(pos++)));
+  }
 
  private:
   Rng& rng_;

@@ -18,7 +18,8 @@ void SymbolicEngine::after_step(vm::ExecutionState& state) {
 }
 
 std::uint64_t SymbolicEngine::run(const Deadline& deadline,
-                                  const std::function<bool()>& extra_stop) {
+                                  const std::function<bool()>& extra_stop,
+                                  const std::function<bool()>& batch_stop) {
   std::uint64_t executed = 0;
   std::vector<std::unique_ptr<vm::ExecutionState>> forked;
   std::vector<vm::ExecutionState*> added;
@@ -26,6 +27,7 @@ std::uint64_t SymbolicEngine::run(const Deadline& deadline,
 
   while (!searcher_.empty() && !deadline.expired()) {
     if (extra_stop && extra_stop()) break;
+    if (batch_stop && batch_stop()) break;
     vm::ExecutionState* state = searcher_.select();
 
     forked.clear();

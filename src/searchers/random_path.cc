@@ -58,7 +58,55 @@ class RandomPathSearcher final : public Searcher {
   bool empty() const override { return root_->live == 0; }
   std::string name() const override { return "random-path"; }
 
+  // The FULL tree is saved, dead subtrees included: a walk deterministically
+  // skips live==0 branches without consuming RNG, but the tree SHAPE decides
+  // where future forks split, so pruning on save would change behaviour.
+  void save_position(std::vector<std::uint64_t>& out) const override {
+    save_node(root_.get(), out);
+  }
+  void load_position(const std::vector<std::uint64_t>& words, std::size_t& pos,
+                     const std::unordered_map<std::uint64_t,
+                                              vm::ExecutionState*>& states)
+      override {
+    leaf_of_.clear();
+    root_ = load_node(words, pos, states, nullptr);
+  }
+
  private:
+  void save_node(const PNode* node, std::vector<std::uint64_t>& out) const {
+    std::uint64_t tag = 0;
+    if (node->left != nullptr) tag |= 1;
+    if (node->right != nullptr) tag |= 2;
+    if (node->state != nullptr) tag |= 4;
+    out.push_back(tag);
+    if (node->state != nullptr) out.push_back(node->state->id);
+    if (node->left != nullptr) save_node(node->left.get(), out);
+    if (node->right != nullptr) save_node(node->right.get(), out);
+  }
+
+  std::unique_ptr<PNode> load_node(
+      const std::vector<std::uint64_t>& words, std::size_t& pos,
+      const std::unordered_map<std::uint64_t, vm::ExecutionState*>& states,
+      PNode* parent) {
+    auto node = std::make_unique<PNode>();
+    node->parent = parent;
+    const std::uint64_t tag = words.at(pos++);
+    if ((tag & 4) != 0) {
+      node->state = states.at(words.at(pos++));
+      leaf_of_[node->state->id] = node.get();
+      node->live = 1;
+    }
+    if ((tag & 1) != 0) {
+      node->left = load_node(words, pos, states, node.get());
+      node->live += node->left->live;
+    }
+    if ((tag & 2) != 0) {
+      node->right = load_node(words, pos, states, node.get());
+      node->live += node->right->live;
+    }
+    return node;
+  }
+
   void bump(PNode* node, std::int32_t delta) {
     for (; node != nullptr; node = node->parent)
       node->live = static_cast<std::uint32_t>(

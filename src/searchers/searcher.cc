@@ -42,6 +42,18 @@ class InterleavedSearcher final : public Searcher {
     return n + ")";
   }
 
+  void save_position(std::vector<std::uint64_t>& out) const override {
+    out.push_back(next_);
+    for (const auto& s : subs_) s->save_position(out);
+  }
+  void load_position(const std::vector<std::uint64_t>& words, std::size_t& pos,
+                     const std::unordered_map<std::uint64_t,
+                                              vm::ExecutionState*>& states)
+      override {
+    next_ = static_cast<std::size_t>(words.at(pos++));
+    for (auto& s : subs_) s->load_position(words, pos, states);
+  }
+
  private:
   std::vector<std::unique_ptr<Searcher>> subs_;
   std::size_t next_ = 0;

@@ -3,8 +3,10 @@
 // the default interleaved (random-path + covnew) searcher.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "support/rng.h"
@@ -30,6 +32,26 @@ class Searcher {
 
   virtual bool empty() const = 0;
   virtual std::string name() const = 0;
+
+  // --- Snapshot/restore (src/serialize) ----------------------------------
+  // A searcher's observable behaviour depends on more than its membership
+  // set: container ORDER (DFS/BFS/random-state selection), the execution
+  // tree SHAPE including dead subtrees (random-path walks), and round-robin
+  // cursors (interleaved). save_position captures all of it as a flat u64
+  // stream; load_position rebuilds it on a freshly constructed searcher of
+  // the same kind, resolving state ids through `states`. A restored
+  // searcher must produce the exact selection sequence the saved one would
+  // have (given the same restored Rng).
+
+  /// Appends the searcher's full position to `out`.
+  virtual void save_position(std::vector<std::uint64_t>& out) const = 0;
+
+  /// Rebuilds the position from `words`, consuming entries at `pos`
+  /// (advanced past the consumed prefix). `states` maps state id -> live
+  /// state. Replaces any previous membership wholesale.
+  virtual void load_position(
+      const std::vector<std::uint64_t>& words, std::size_t& pos,
+      const std::unordered_map<std::uint64_t, vm::ExecutionState*>& states) = 0;
 };
 
 enum class SearcherKind {

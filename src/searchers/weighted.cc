@@ -61,6 +61,23 @@ class WeightedSearcher final : public Searcher {
     return weight_ == Weight::kCovNew ? "covnew" : "md2u";
   }
 
+  void save_position(std::vector<std::uint64_t>& out) const override {
+    out.push_back(states_.size());
+    for (const auto* s : states_) out.push_back(s->id);
+  }
+  void load_position(const std::vector<std::uint64_t>& words, std::size_t& pos,
+                     const std::unordered_map<std::uint64_t,
+                                              vm::ExecutionState*>& states)
+      override {
+    states_.clear();
+    const std::uint64_t n = words.at(pos++);
+    for (std::uint64_t k = 0; k < n; ++k)
+      states_.push_back(states.at(words.at(pos++)));
+    // Force a distance recompute on the next select(): the recompute is a
+    // pure function of executor coverage, so redoing it is deterministic.
+    last_epoch_ = ~std::uint64_t{0};
+  }
+
  private:
   void refresh_distances() {
     if (executor_.coverage_epoch() == last_epoch_) return;

@@ -1,0 +1,100 @@
+#include "serialize/pbss.h"
+
+#include <cstdio>
+
+namespace pbse::serialize {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'B', 'S', 'S'};
+}
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> frame_snapshot(
+    SnapshotFlavor flavor, const std::vector<std::uint8_t>& payload) {
+  Encoder enc;
+  for (char c : kMagic) enc.u8(static_cast<std::uint8_t>(c));
+  enc.u32(kPbssVersion);
+  enc.u32(static_cast<std::uint32_t>(flavor));
+  enc.blob(payload);
+  std::vector<std::uint8_t> out = enc.data();
+  const std::uint64_t sum = fnv1a(out.data(), out.size());
+  Encoder foot;
+  foot.u64(sum);
+  out.insert(out.end(), foot.data().begin(), foot.data().end());
+  return out;
+}
+
+std::vector<std::uint8_t> unframe_snapshot(
+    const std::vector<std::uint8_t>& framed, SnapshotFlavor expect) {
+  if (framed.size() < 4 + 4 + 4 + 8 + 8)
+    throw SnapshotError("pbss: file too small to be a snapshot (" +
+                        std::to_string(framed.size()) + " bytes)");
+  // Footer first: everything before the last 8 bytes is covered.
+  Decoder foot(framed.data() + framed.size() - 8, 8);
+  const std::uint64_t stored = foot.u64();
+  const std::uint64_t actual = fnv1a(framed.data(), framed.size() - 8);
+  if (stored != actual)
+    throw SnapshotError("pbss: checksum mismatch (snapshot corrupted)");
+
+  Decoder dec(framed.data(), framed.size() - 8);
+  for (char c : kMagic)
+    if (dec.u8() != static_cast<std::uint8_t>(c))
+      throw SnapshotError("pbss: bad magic (not a pbss snapshot)");
+  const std::uint32_t version = dec.u32();
+  if (version != kPbssVersion)
+    throw SnapshotError("pbss: unsupported version " +
+                        std::to_string(version) + " (expected " +
+                        std::to_string(kPbssVersion) + ")");
+  const std::uint32_t flavor = dec.u32();
+  if (flavor != static_cast<std::uint32_t>(expect))
+    throw SnapshotError("pbss: flavor mismatch (snapshot holds " +
+                        std::to_string(flavor) + ", expected " +
+                        std::to_string(static_cast<std::uint32_t>(expect)) +
+                        ")");
+  std::vector<std::uint8_t> payload = dec.blob();
+  if (!dec.done())
+    throw SnapshotError("pbss: trailing bytes after payload");
+  return payload;
+}
+
+void write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& framed) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr)
+    throw SnapshotError("pbss: cannot open " + tmp + " for writing");
+  const std::size_t written =
+      framed.empty() ? 0 : std::fwrite(framed.data(), 1, framed.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != framed.size() || !flushed) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("pbss: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SnapshotError("pbss: cannot rename " + tmp + " to " + path);
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw SnapshotError("pbss: cannot open " + path);
+  std::vector<std::uint8_t> out;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+    out.insert(out.end(), buf, buf + n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace pbse::serialize

@@ -1,0 +1,418 @@
+#include "serialize/state_codec.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ir/ir.h"
+
+namespace pbse::serialize {
+
+namespace {
+constexpr std::uint32_t kNullId = ~std::uint32_t{0};
+}
+
+void StateCodec::register_array(const ArrayRef& array) {
+  canonical_[{array->name(), array->size()}] = array;
+}
+
+// --- Arrays -----------------------------------------------------------------
+// Inline def-or-ref: tag 0 = null, 1 = back-reference, 2 = definition.
+
+std::uint32_t StateCodec::array_id(Encoder& enc, const ArrayRef& array) {
+  if (array == nullptr) {
+    enc.u8(0);
+    return kNullId;
+  }
+  auto it = array_ids_.find(array.get());
+  if (it != array_ids_.end()) {
+    enc.u8(1);
+    enc.u32(it->second);
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(array_ids_.size());
+  array_ids_.emplace(array.get(), id);
+  enc.u8(2);
+  enc.str(array->name());
+  enc.u32(array->size());
+  return id;
+}
+
+ArrayRef StateCodec::decode_array_def(Decoder& dec) {
+  const std::uint8_t tag = dec.u8();
+  if (tag == 0) return nullptr;
+  if (tag == 1) return array_by_id(dec.u32());
+  if (tag != 2) throw SnapshotError("pbss: bad array tag");
+  const std::string name = dec.str();
+  const std::uint32_t size = dec.u32();
+  // Rebind to the restoring campaign's canonical array when one matches;
+  // expressions interned against it stay pointer-compatible with live ones.
+  ArrayRef array;
+  auto canon = canonical_.find({name, size});
+  if (canon != canonical_.end())
+    array = canon->second;
+  else
+    array = std::make_shared<Array>(name, size);
+  arrays_.push_back(array);
+  return array;
+}
+
+ArrayRef StateCodec::array_by_id(std::uint32_t id) const {
+  if (id >= arrays_.size())
+    throw SnapshotError("pbss: array back-reference out of range");
+  return arrays_[id];
+}
+
+// --- Expressions ------------------------------------------------------------
+
+void StateCodec::encode_expr(Encoder& enc, const ExprRef& e) {
+  if (e == nullptr) {
+    enc.u32(0);          // zero new definitions
+    enc.u32(kNullId);    // null root
+    return;
+  }
+  // Iterative post-order over the not-yet-emitted portion of the DAG:
+  // every node is visited once (the emitted-check prunes shared subtrees),
+  // and kids always receive ids before their parents.
+  std::vector<const Expr*> order;
+  std::vector<std::pair<const Expr*, std::size_t>> stack;
+  if (expr_ids_.find(e.get()) == expr_ids_.end())
+    stack.emplace_back(e.get(), 0);
+  std::unordered_map<const Expr*, bool> scheduled;
+  if (!stack.empty()) scheduled[e.get()] = true;
+  while (!stack.empty()) {
+    auto& [node, next_kid] = stack.back();
+    if (next_kid == node->num_kids()) {
+      order.push_back(node);
+      stack.pop_back();
+      continue;
+    }
+    const Expr* kid = node->kid(next_kid++).get();
+    if (expr_ids_.find(kid) == expr_ids_.end() && !scheduled[kid])
+      stack.emplace_back(kid, 0), scheduled[kid] = true;
+  }
+
+  enc.u32(static_cast<std::uint32_t>(order.size()));
+  for (const Expr* node : order) {
+    const auto id = static_cast<std::uint32_t>(expr_ids_.size());
+    expr_ids_.emplace(node, id);
+    enc.u8(static_cast<std::uint8_t>(node->kind()));
+    enc.u8(static_cast<std::uint8_t>(node->width()));
+    enc.u64(node->kind() == ExprKind::kConstant ? node->constant_value()
+            : node->kind() == ExprKind::kRead
+                ? node->read_index()
+                : node->kind() == ExprKind::kExtract ? node->extract_offset()
+                                                     : 0);
+    array_id(enc, node->array());
+    enc.u32(static_cast<std::uint32_t>(node->num_kids()));
+    for (std::size_t k = 0; k < node->num_kids(); ++k)
+      enc.u32(expr_ids_.at(node->kid(k).get()));
+  }
+  enc.u32(expr_ids_.at(e.get()));
+}
+
+ExprRef StateCodec::decode_expr(Decoder& dec) {
+  const std::uint32_t num_new = dec.u32();
+  for (std::uint32_t n = 0; n < num_new; ++n) {
+    const auto kind = static_cast<ExprKind>(dec.u8());
+    const unsigned width = dec.u8();
+    const std::uint64_t value = dec.u64();
+    ArrayRef array = decode_array_def(dec);
+    const std::uint32_t num_kids = dec.u32();
+    std::vector<ExprRef> kids;
+    kids.reserve(num_kids);
+    for (std::uint32_t k = 0; k < num_kids; ++k) {
+      const std::uint32_t kid = dec.u32();
+      if (kid >= exprs_.size())
+        throw SnapshotError("pbss: expression kid id out of range");
+      kids.push_back(exprs_[kid]);
+    }
+    // mk_raw re-interns the exact stored shape — no builder folding, and
+    // shared nodes come back pointer-identical via the intern table.
+    exprs_.push_back(mk_raw(kind, width, value, std::move(array),
+                            std::move(kids)));
+  }
+  const std::uint32_t root = dec.u32();
+  if (root == kNullId) return nullptr;
+  if (root >= exprs_.size())
+    throw SnapshotError("pbss: expression root id out of range");
+  return exprs_[root];
+}
+
+// --- Assignments ------------------------------------------------------------
+// tag 0 = null, 1 = back-reference, 2 = definition. Entries sorted by
+// array name for canonical bytes (Assignment stores them unordered).
+
+void StateCodec::encode_assignment(
+    Encoder& enc, const std::shared_ptr<const Assignment>& a) {
+  if (a == nullptr) {
+    enc.u8(0);
+    return;
+  }
+  auto it = assignment_ids_.find(a.get());
+  if (it != assignment_ids_.end()) {
+    enc.u8(1);
+    enc.u32(it->second);
+    return;
+  }
+  assignment_ids_.emplace(a.get(),
+                          static_cast<std::uint32_t>(assignment_ids_.size()));
+  enc.u8(2);
+  std::vector<const Array*> keys;
+  for (const auto& [array, bytes] : a->all()) keys.push_back(array);
+  std::sort(keys.begin(), keys.end(), [](const Array* x, const Array* y) {
+    if (x->name() != y->name()) return x->name() < y->name();
+    return x->size() < y->size();
+  });
+  enc.u32(static_cast<std::uint32_t>(keys.size()));
+  for (const Array* array : keys) {
+    enc.str(array->name());
+    enc.u32(array->size());
+    enc.blob(a->all().at(array));
+  }
+}
+
+std::shared_ptr<const Assignment> StateCodec::decode_assignment(Decoder& dec) {
+  const std::uint8_t tag = dec.u8();
+  if (tag == 0) return nullptr;
+  if (tag == 1) {
+    const std::uint32_t id = dec.u32();
+    if (id >= assignments_.size())
+      throw SnapshotError("pbss: assignment back-reference out of range");
+    return assignments_[id];
+  }
+  if (tag != 2) throw SnapshotError("pbss: bad assignment tag");
+  auto a = std::make_shared<Assignment>();
+  const std::uint32_t n = dec.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string name = dec.str();
+    const std::uint32_t size = dec.u32();
+    std::vector<std::uint8_t> bytes = dec.blob();
+    ArrayRef array;
+    auto canon = canonical_.find({name, size});
+    if (canon != canonical_.end())
+      array = canon->second;
+    else
+      array = std::make_shared<Array>(name, size);
+    a->set(array, std::move(bytes));
+  }
+  assignments_.push_back(a);
+  return a;
+}
+
+// --- ModelBytes -------------------------------------------------------------
+// Order preserved verbatim: a ModelBytes list's order is first-read order
+// and part of the solver's deterministic behaviour.
+
+void StateCodec::encode_model_bytes(Encoder& enc, const ModelBytes& m) {
+  enc.u32(static_cast<std::uint32_t>(m.size()));
+  for (const auto& [array, bytes] : m) {
+    array_id(enc, array);
+    enc.blob(bytes);
+  }
+}
+
+ModelBytes StateCodec::decode_model_bytes(Decoder& dec) {
+  const std::uint32_t n = dec.u32();
+  ModelBytes m;
+  m.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ArrayRef array = decode_array_def(dec);
+    if (array == nullptr)
+      throw SnapshotError("pbss: null array in model bytes");
+    m.emplace_back(std::move(array), dec.blob());
+  }
+  return m;
+}
+
+// --- Memory objects ---------------------------------------------------------
+// tag 1 = back-reference (shared object already emitted), 2 = definition.
+
+void StateCodec::encode_mem_object(Encoder& enc,
+                                   const std::shared_ptr<vm::MemObject>& obj) {
+  auto it = mem_object_ids_.find(obj.get());
+  if (it != mem_object_ids_.end()) {
+    enc.u8(1);
+    enc.u32(it->second);
+    return;
+  }
+  mem_object_ids_.emplace(obj.get(),
+                          static_cast<std::uint32_t>(mem_object_ids_.size()));
+  enc.u8(2);
+  enc.u64(obj->size);
+  enc.u8(obj->writable ? 1 : 0);
+  enc.u8(obj->alive ? 1 : 0);
+  enc.str(obj->name);
+  enc.u32(static_cast<std::uint32_t>(obj->bytes.size()));
+  for (const ExprRef& b : obj->bytes) encode_expr(enc, b);
+}
+
+std::shared_ptr<vm::MemObject> StateCodec::decode_mem_object(Decoder& dec) {
+  const std::uint8_t tag = dec.u8();
+  if (tag == 1) {
+    const std::uint32_t id = dec.u32();
+    if (id >= mem_objects_.size())
+      throw SnapshotError("pbss: memory-object back-reference out of range");
+    return mem_objects_[id];
+  }
+  if (tag != 2) throw SnapshotError("pbss: bad memory-object tag");
+  auto obj = std::make_shared<vm::MemObject>();
+  obj->size = dec.u64();
+  obj->writable = dec.u8() != 0;
+  obj->alive = dec.u8() != 0;
+  obj->name = dec.str();
+  const std::uint32_t n = dec.u32();
+  obj->bytes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) obj->bytes.push_back(decode_expr(dec));
+  mem_objects_.push_back(obj);
+  return obj;
+}
+
+// --- Values / pointers ------------------------------------------------------
+
+void StateCodec::encode_pointer(Encoder& enc, const vm::Pointer& p) {
+  enc.u32(p.object);
+  encode_expr(enc, p.offset);
+}
+
+vm::Pointer StateCodec::decode_pointer(Decoder& dec) {
+  vm::Pointer p;
+  p.object = dec.u32();
+  p.offset = decode_expr(dec);
+  return p;
+}
+
+void StateCodec::encode_value(Encoder& enc, const vm::Value& v) {
+  enc.u8(static_cast<std::uint8_t>(v.kind));
+  if (v.kind == vm::Value::Kind::kInt) encode_expr(enc, v.i);
+  if (v.kind == vm::Value::Kind::kPtr) encode_pointer(enc, v.p);
+}
+
+vm::Value StateCodec::decode_value(Decoder& dec) {
+  vm::Value v;
+  v.kind = static_cast<vm::Value::Kind>(dec.u8());
+  if (v.kind == vm::Value::Kind::kInt) v.i = decode_expr(dec);
+  if (v.kind == vm::Value::Kind::kPtr) v.p = decode_pointer(dec);
+  return v;
+}
+
+// --- Whole states -----------------------------------------------------------
+
+void StateCodec::encode_state(Encoder& enc, const vm::ExecutionState& s) {
+  enc.u64(s.id);
+  enc.u64(s.parent_id);
+
+  enc.u32(static_cast<std::uint32_t>(s.stack.size()));
+  for (const vm::StackFrame& f : s.stack) {
+    enc.u32(f.fn->index());
+    enc.u32(f.block);
+    enc.u32(f.inst);
+    enc.u32(static_cast<std::uint32_t>(f.regs.size()));
+    for (const vm::Value& v : f.regs) encode_value(enc, v);
+    enc.u32(static_cast<std::uint32_t>(f.slots.size()));
+    for (const vm::Pointer& p : f.slots) encode_pointer(enc, p);
+    enc.u32(f.ret_reg);
+    enc.u32(static_cast<std::uint32_t>(f.allocas.size()));
+    for (std::uint32_t a : f.allocas) enc.u32(a);
+  }
+
+  // Memory: object map sorted by id for canonical bytes; shared objects
+  // dedup through the table, preserving COW sharing across states.
+  std::vector<std::uint32_t> ids;
+  for (const auto& [id, obj] : s.memory.objects()) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  enc.u32(s.memory.next_id());
+  enc.u32(static_cast<std::uint32_t>(ids.size()));
+  for (std::uint32_t id : ids) {
+    enc.u32(id);
+    encode_mem_object(enc, s.memory.objects().at(id));
+  }
+
+  // Constraints in insertion order; the set is rebuilt via add() on decode
+  // (deterministically reproducing hashes and union-find partitions).
+  enc.u32(static_cast<std::uint32_t>(s.constraints.size()));
+  for (const ExprRef& c : s.constraints.constraints()) encode_expr(enc, c);
+
+  encode_assignment(enc, s.model);
+  // model_eval is NOT serialized: a pure per-model memo, rebuilt lazily by
+  // the executor. Dropping it never changes ticks — solver charges use
+  // expr_cost, not memo warmth.
+
+  enc.u8(static_cast<std::uint8_t>(s.termination));
+  enc.u64(s.instructions);
+  enc.u64(s.depth);
+  enc.u64(s.born_at_ticks);
+  enc.u32(s.fork_bb);
+  enc.u32(s.fork_inst);
+  enc.u8(s.covered_new ? 1 : 0);
+  enc.u64(s.insts_since_cov_new);
+  enc.u64(s.mem_fp);
+  enc.u32(s.num_entry_snapshots);
+  for (std::uint32_t i = 0; i < s.num_entry_snapshots; ++i)
+    enc.u64(s.entry_snapshots[i]);
+}
+
+std::unique_ptr<vm::ExecutionState> StateCodec::decode_state(
+    Decoder& dec, const ir::Module& module) {
+  auto s = std::make_unique<vm::ExecutionState>();
+  s->id = dec.u64();
+  s->parent_id = dec.u64();
+
+  const std::uint32_t num_frames = dec.u32();
+  s->stack.reserve(num_frames);
+  for (std::uint32_t i = 0; i < num_frames; ++i) {
+    vm::StackFrame f;
+    const std::uint32_t fn_index = dec.u32();
+    if (fn_index >= module.num_functions())
+      throw SnapshotError("pbss: stack-frame function index out of range");
+    f.fn = module.function(fn_index);
+    f.block = dec.u32();
+    f.inst = dec.u32();
+    const std::uint32_t num_regs = dec.u32();
+    f.regs.reserve(num_regs);
+    for (std::uint32_t r = 0; r < num_regs; ++r)
+      f.regs.push_back(decode_value(dec));
+    const std::uint32_t num_slots = dec.u32();
+    f.slots.reserve(num_slots);
+    for (std::uint32_t p = 0; p < num_slots; ++p)
+      f.slots.push_back(decode_pointer(dec));
+    f.ret_reg = dec.u32();
+    const std::uint32_t num_allocas = dec.u32();
+    f.allocas.reserve(num_allocas);
+    for (std::uint32_t a = 0; a < num_allocas; ++a)
+      f.allocas.push_back(dec.u32());
+    s->stack.push_back(std::move(f));
+  }
+
+  const std::uint32_t next_obj_id = dec.u32();
+  const std::uint32_t num_objects = dec.u32();
+  for (std::uint32_t i = 0; i < num_objects; ++i) {
+    const std::uint32_t id = dec.u32();
+    s->memory.restore_object(id, decode_mem_object(dec));
+  }
+  s->memory.set_next_id(next_obj_id);
+
+  const std::uint32_t num_constraints = dec.u32();
+  for (std::uint32_t i = 0; i < num_constraints; ++i)
+    s->constraints.add(decode_expr(dec));
+
+  s->model = decode_assignment(dec);
+  s->model_eval = nullptr;
+
+  s->termination = static_cast<vm::TerminationReason>(dec.u8());
+  s->instructions = dec.u64();
+  s->depth = dec.u64();
+  s->born_at_ticks = dec.u64();
+  s->fork_bb = dec.u32();
+  s->fork_inst = dec.u32();
+  s->covered_new = dec.u8() != 0;
+  s->insts_since_cov_new = dec.u64();
+  s->mem_fp = dec.u64();
+  s->num_entry_snapshots = dec.u32();
+  if (s->num_entry_snapshots > vm::ExecutionState::kMaxEntrySnapshots)
+    throw SnapshotError("pbss: entry-snapshot count out of range");
+  for (std::uint32_t i = 0; i < s->num_entry_snapshots; ++i)
+    s->entry_snapshots[i] = dec.u64();
+  return s;
+}
+
+}  // namespace pbse::serialize

@@ -1,0 +1,117 @@
+#include "server/client.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "server/job.h"
+
+namespace pbse::server {
+
+Client Client::connect_unix(const std::string& socket_path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw ProtocolError(std::string("socket: ") + std::strerror(errno));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    throw ProtocolError("socket path too long: " + socket_path);
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw ProtocolError("connect " + socket_path + ": " + std::strerror(err));
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw ProtocolError(std::string("socket: ") + std::strerror(errno));
+  sockaddr_in in{};
+  in.sin_family = AF_INET;
+  in.sin_port = htons(port);
+  in.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&in), sizeof(in)) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw ProtocolError("connect 127.0.0.1:" + std::to_string(port) + ": " +
+                        std::strerror(err));
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Json Client::request(const Json& req) {
+  send_message(fd_, req);
+  Json resp;
+  if (!recv_message(fd_, resp))
+    throw ProtocolError("server closed the connection before responding");
+  return resp;
+}
+
+bool Client::next_event(Json& out) { return recv_message(fd_, out); }
+
+std::uint64_t Client::submit(const JobSpec& spec) {
+  Json req = Json::object();
+  req.set("cmd", Json::string("submit"));
+  req.set("spec", spec.to_json());
+  Json resp = request(req);
+  if (!resp.get_bool("ok", false))
+    throw ProtocolError("submit refused: " +
+                        resp.get_string("error", "unknown error"));
+  return resp.get_u64("job", 0);
+}
+
+Json Client::wait(std::uint64_t job) {
+  Json req = Json::object();
+  req.set("cmd", Json::string("wait"));
+  req.set("job", Json::number(job));
+  Json ack = request(req);
+  if (!ack.get_bool("ok", false))
+    throw ProtocolError("wait refused: " +
+                        ack.get_string("error", "unknown error"));
+  if (ack.get_bool("already_done", false)) {
+    // Shape the final record like a terminal event so callers have one code
+    // path regardless of whether they raced the job's completion.
+    const Json& rec = ack.get("record");
+    Json ev = Json::object();
+    ev.set("event", Json::string(
+        rec.get_string("state", "done") == "failed" ? "failed" : "done"));
+    ev.set("job", Json::number(job));
+    ev.set("state", rec.get("state"));
+    ev.set("progress", rec.get("progress"));
+    if (rec.has("error")) ev.set("error", rec.get("error"));
+    return ev;
+  }
+  Json ev;
+  while (next_event(ev)) {
+    std::string kind = ev.get_string("event", "");
+    if (kind == "done" || kind == "failed") return ev;
+  }
+  throw ProtocolError("server hung up mid event stream");
+}
+
+}  // namespace pbse::server

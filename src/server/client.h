@@ -1,0 +1,49 @@
+// Client-side helper for the pbse-serve protocol: connect, one-shot
+// request/response, and event-stream consumption for `wait`. Used by the
+// pbse-client tool, the server tests, and the smoke script.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "server/job.h"
+#include "server/protocol.h"
+
+namespace pbse::server {
+
+class Client {
+ public:
+  /// Both connectors throw ProtocolError when nobody is listening.
+  static Client connect_unix(const std::string& socket_path);
+  static Client connect_tcp(std::uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request and returns its response frame. Throws
+  /// ProtocolError if the server hangs up; a `{"ok":false}` response is
+  /// returned, not thrown — protocol errors and application errors differ.
+  Json request(const Json& req);
+
+  /// Reads one more frame off the connection (the `wait` event stream).
+  /// Returns false on clean EOF.
+  bool next_event(Json& out);
+
+  /// submit convenience: returns the new job id or throws on refusal.
+  std::uint64_t submit(const JobSpec& spec);
+
+  /// Subscribes to `job` and consumes its event stream until the terminal
+  /// frame, returning the final event ("done" or "failed"; or a synthetic
+  /// one when the job was already terminal at call time).
+  Json wait(std::uint64_t job);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+};
+
+}  // namespace pbse::server

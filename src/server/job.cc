@@ -1,0 +1,114 @@
+#include "server/job.h"
+
+namespace pbse::server {
+
+const char* job_mode_name(JobMode mode) {
+  return mode == JobMode::kKlee ? "klee" : "pbse";
+}
+
+bool parse_job_mode(const std::string& name, JobMode& out) {
+  if (name == "klee") {
+    out = JobMode::kKlee;
+    return true;
+  }
+  if (name == "pbse") {
+    out = JobMode::kPbse;
+    return true;
+  }
+  return false;
+}
+
+Json JobSpec::to_json() const {
+  Json j = Json::object();
+  j.set("mode", Json::string(job_mode_name(mode)));
+  j.set("target", Json::string(target));
+  j.set("budget_ticks", Json::number(budget_ticks));
+  j.set("rng_seed", Json::number(rng_seed));
+  j.set("searcher", Json::string(search::searcher_kind_name(searcher)));
+  j.set("sym_size", Json::number(sym_size));
+  j.set("seed_scale", Json::number(seed_scale));
+  j.set("slice_ticks", Json::number(slice_ticks));
+  return j;
+}
+
+JobSpec JobSpec::from_json(const Json& j) {
+  JobSpec spec;
+  std::string mode = j.get_string("mode", "pbse");
+  if (!parse_job_mode(mode, spec.mode))
+    throw ProtocolError("unknown job mode '" + mode + "'");
+  spec.target = j.get_string("target", "");
+  if (spec.target.empty()) throw ProtocolError("job spec missing 'target'");
+  spec.budget_ticks = j.get_u64("budget_ticks", 200'000);
+  if (spec.budget_ticks == 0)
+    throw ProtocolError("job budget_ticks must be positive");
+  spec.rng_seed = j.get_u64("rng_seed", 1);
+  std::string searcher = j.get_string("searcher", "default");
+  if (!search::parse_searcher_kind(searcher, spec.searcher))
+    throw ProtocolError("unknown searcher '" + searcher + "'");
+  spec.sym_size = static_cast<std::uint32_t>(j.get_u64("sym_size", 100));
+  spec.seed_scale = static_cast<std::uint32_t>(j.get_u64("seed_scale", 4));
+  spec.slice_ticks = j.get_u64("slice_ticks", 0);
+  return spec;
+}
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kCheckpointed: return "checkpointed";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+Json JobProgress::to_json() const {
+  Json j = Json::object();
+  j.set("ticks", Json::number(ticks));
+  j.set("covered", Json::number(covered));
+  j.set("bugs", Json::number(bugs));
+  j.set("states", Json::number(states));
+  j.set("test_cases", Json::number(test_cases));
+  return j;
+}
+
+JobProgress JobProgress::from_json(const Json& j) {
+  JobProgress p;
+  p.ticks = j.get_u64("ticks", 0);
+  p.covered = j.get_u64("covered", 0);
+  p.bugs = j.get_u64("bugs", 0);
+  p.states = j.get_u64("states", 0);
+  p.test_cases = j.get_u64("test_cases", 0);
+  return p;
+}
+
+Json JobRecord::meta_json() const {
+  Json j = Json::object();
+  j.set("id", Json::number(id));
+  j.set("spec", spec.to_json());
+  j.set("state", Json::string(job_state_name(state)));
+  j.set("progress", progress.to_json());
+  if (!error.empty()) j.set("error", Json::string(error));
+  j.set("has_snapshot", Json::boolean(!snapshot.empty()));
+  j.set("run_end_ticks", Json::number(run_end_ticks));
+  return j;
+}
+
+JobRecord JobRecord::from_meta_json(const Json& j) {
+  JobRecord rec;
+  rec.id = j.get_u64("id", 0);
+  rec.spec = JobSpec::from_json(j.get("spec"));
+  std::string state = j.get_string("state", "queued");
+  rec.state = JobState::kQueued;
+  for (JobState s : {JobState::kQueued, JobState::kRunning,
+                     JobState::kCheckpointed, JobState::kDone,
+                     JobState::kFailed}) {
+    if (state == job_state_name(s)) rec.state = s;
+  }
+  rec.progress = JobProgress::from_json(j.get("progress"));
+  rec.error = j.get_string("error", "");
+  rec.run_end_ticks = j.get_u64("run_end_ticks", 0);
+  return rec;
+}
+
+}  // namespace pbse::server

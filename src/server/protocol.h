@@ -1,0 +1,104 @@
+// pbse-serve wire protocol: length-prefixed JSON messages (DESIGN.md §11).
+//
+// Every message is one JSON object framed by a u32 little-endian byte
+// length. JSON keeps the protocol inspectable (`socat` + a human suffice
+// to drive the daemon) while the framing keeps parsing trivial and
+// stream-safe; job payloads that must be byte-exact (snapshots) never
+// travel here — they live in the server's state directory as pbss files.
+//
+// The Json value here is deliberately minimal: null/bool/number/string/
+// array/object, numbers stored as both double and u64 (tick budgets exceed
+// 2^53-safe doubles only in theory, but round-tripping them through the
+// integer lane costs nothing). No external dependency — the container
+// bakes in no JSON library, so the ~200-line parser below IS the
+// dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pbse::server {
+
+/// Malformed frame or JSON, or a closed/failed socket mid-message.
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  static Json null() { return Json(); }
+  static Json boolean(bool b);
+  static Json number(std::uint64_t v);
+  static Json number_double(double v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  bool as_bool() const;
+  std::uint64_t as_u64() const;
+  double as_double() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;
+  std::vector<Json>& items();
+
+  /// Object field access; get() returns null for a missing key.
+  const Json& get(const std::string& key) const;
+  bool has(const std::string& key) const;
+  void set(const std::string& key, Json value);
+  void push_back(Json value);
+  const std::map<std::string, Json>& fields() const;
+
+  /// Convenience typed getters with defaults (missing or wrong type ->
+  /// fallback), the common shape of optional protocol fields.
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::uint64_t unum_ = 0;
+  bool num_is_integer_ = false;
+  std::string str_;
+  std::vector<Json> items_;
+  std::map<std::string, Json> fields_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+Json parse_json(const std::string& text);
+
+// --- Socket framing -------------------------------------------------------
+
+/// Upper bound on one frame; a corrupt length prefix must not trigger a
+/// multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxMessageBytes = 16u << 20;
+
+/// Blocking send of `msg` as [u32 LE length][utf-8 json]. Throws
+/// ProtocolError on socket failure.
+void send_message(int fd, const Json& msg);
+
+/// Blocking receive of one framed message. Returns false on clean EOF at a
+/// frame boundary; throws ProtocolError on mid-frame EOF or malformed data.
+bool recv_message(int fd, Json& out);
+
+}  // namespace pbse::server

@@ -1,0 +1,285 @@
+#include "server/scheduler.h"
+
+#include <algorithm>
+
+#include "core/driver.h"
+#include "core/pbse.h"
+#include "serialize/campaign_codec.h"
+#include "targets/targets.h"
+
+namespace pbse::server {
+
+namespace {
+
+const targets::TargetInfo& resolve_target(const std::string& name) {
+  for (const targets::TargetInfo& info : targets::all_targets()) {
+    if (info.driver == name) return info;
+  }
+  throw ProtocolError("unknown target '" + name + "'");
+}
+
+void fill_progress(JobProgress& p, vm::Executor& exec, std::uint64_t ticks,
+                   std::uint64_t states) {
+  p.ticks = ticks;
+  p.covered = exec.num_covered();
+  p.bugs = exec.bugs().size();
+  p.test_cases = exec.test_cases().size();
+  p.states = states;
+}
+
+/// Runs one slice of a klee-mode job against `rec`, updating snapshot,
+/// progress and run_end_ticks in place. Returns true when the job is done.
+bool slice_klee(JobRecord& rec, std::uint64_t slice_ticks) {
+  const targets::TargetInfo& info = resolve_target(rec.spec.target);
+  const ir::Module module = targets::build_target(info.source());
+
+  core::KleeRunOptions options;
+  options.searcher = rec.spec.searcher;
+  options.sym_file_size = rec.spec.sym_size;
+  options.rng_seed = rec.spec.rng_seed;
+
+  core::KleeRun run(module, "main", options);
+  if (!rec.snapshot.empty()) {
+    serialize::CampaignCodec::restore(run, rec.snapshot);
+  }
+  if (rec.run_end_ticks == 0)
+    rec.run_end_ticks = run.clock().now() + rec.spec.budget_ticks;
+
+  const std::uint64_t slice_end =
+      std::min(rec.run_end_ticks, run.clock().now() + slice_ticks);
+  // The Deadline below carries the FULL remaining budget; the slice cuts
+  // only at batch boundaries via batch_stop. Cutting the deadline itself
+  // would move the per-instruction expiry checks and de-sync the RNG
+  // stream from an uninterrupted run.
+  run.run_sliced(rec.run_end_ticks - run.clock().now(),
+                 [&run, slice_end] { return run.clock().now() >= slice_end; });
+
+  const bool done =
+      run.clock().now() >= rec.run_end_ticks || run.num_states() == 0;
+  rec.snapshot = serialize::CampaignCodec::snapshot(run);
+  fill_progress(rec.progress, run.executor(), run.clock().now(),
+                run.num_states());
+  return done;
+}
+
+/// pbse-mode slice. A fresh job pays concolic + phase analysis inside its
+/// first slice; a resumed job reconstructs them via prepare() (mandatory
+/// restore precondition) and overlays the snapshot.
+bool slice_pbse(JobRecord& rec, std::uint64_t slice_ticks) {
+  const targets::TargetInfo& info = resolve_target(rec.spec.target);
+  const ir::Module module = targets::build_target(info.source());
+
+  core::PbseOptions options;
+  options.phase_searcher = rec.spec.searcher;
+  options.rng_seed = rec.spec.rng_seed;
+
+  core::PbseDriver driver(module, "main", options);
+  const bool prepared = driver.prepare(info.seed(rec.spec.seed_scale));
+  if (!rec.snapshot.empty()) {
+    serialize::CampaignCodec::restore(driver, rec.snapshot);
+  } else {
+    if (!prepared) {
+      // No symbolic branch on the seed path: the concolic step is the whole
+      // campaign. Record what it found and finish.
+      rec.run_end_ticks = driver.clock().now();
+      rec.snapshot = serialize::CampaignCodec::snapshot(driver);
+      fill_progress(rec.progress, driver.executor(), driver.clock().now(), 0);
+      return true;
+    }
+    driver.begin_run();
+    rec.run_end_ticks = driver.clock().now() + rec.spec.budget_ticks;
+  }
+
+  const std::uint64_t slice_end =
+      std::min(rec.run_end_ticks, driver.clock().now() + slice_ticks);
+  // Each slice re-derives the SAME absolute expiry tick, so the deadline
+  // every step_turn sees is identical to the monolithic run's.
+  Deadline overall(driver.clock(), rec.run_end_ticks - driver.clock().now());
+  bool more = true;
+  while (driver.clock().now() < slice_end && (more = driver.step_turn(overall)))
+    ;
+
+  const bool done = !more || driver.clock().now() >= rec.run_end_ticks;
+  rec.snapshot = serialize::CampaignCodec::snapshot(driver);
+  fill_progress(rec.progress, driver.executor(), driver.clock().now(), 0);
+  return done;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(SchedulerOptions options, EventFn on_event)
+    : options_(options), on_event_(std::move(on_event)) {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.default_slice_ticks == 0) options_.default_slice_ticks = 50'000;
+  deques_.resize(options_.workers);
+  pool_ = std::make_unique<ThreadPool>(options_.workers);
+  for (unsigned i = 0; i < options_.workers; ++i)
+    workers_.push_back(pool_->submit([this, i] { worker_main(i); }));
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+std::uint64_t Scheduler::submit(JobSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  JobRecord rec;
+  rec.id = next_id_++;
+  rec.spec = std::move(spec);
+  std::uint64_t id = rec.id;
+  jobs_.emplace(id, std::move(rec));
+  deques_[id % deques_.size()].jobs.push_back(id);
+  ++inflight_;
+  work_cv_.notify_one();
+  return id;
+}
+
+void Scheduler::resubmit(JobRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_id_ = std::max(next_id_, rec.id + 1);
+  std::uint64_t id = rec.id;
+  // A job persisted as "running" died mid-slice; its snapshot is the last
+  // completed slice, so resuming it re-executes only the lost slice.
+  if (rec.state == JobState::kRunning || rec.state == JobState::kCheckpointed)
+    rec.state = JobState::kQueued;
+  bool enqueue = rec.state == JobState::kQueued;
+  jobs_[id] = std::move(rec);
+  if (enqueue) {
+    deques_[id % deques_.size()].jobs.push_back(id);
+    ++inflight_;
+    work_cv_.notify_one();
+  }
+}
+
+bool Scheduler::query(std::uint64_t id, JobRecord& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+std::vector<std::uint64_t> Scheduler::job_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> ids;
+  ids.reserve(jobs_.size());
+  for (const auto& [id, rec] : jobs_) ids.push_back(id);
+  return ids;
+}
+
+void Scheduler::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+void Scheduler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& f : workers_) f.wait();
+  workers_.clear();
+  pool_.reset();
+}
+
+void Scheduler::emit(JobEvent::Kind kind, const JobRecord& rec,
+                     unsigned worker, bool stolen) {
+  if (!on_event_) return;
+  JobEvent ev;
+  ev.kind = kind;
+  ev.record = rec;
+  ev.worker = worker;
+  ev.stolen = stolen;
+  on_event_(ev);
+}
+
+bool Scheduler::next_job(unsigned me, std::uint64_t& id, bool& stolen) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (!deques_[me].jobs.empty()) {
+      id = deques_[me].jobs.back();
+      deques_[me].jobs.pop_back();
+      stolen = false;
+      return true;
+    }
+    for (std::size_t k = 0; k < deques_.size(); ++k) {
+      std::size_t victim = (next_victim_ + k) % deques_.size();
+      if (victim == me || deques_[victim].jobs.empty()) continue;
+      id = deques_[victim].jobs.front();
+      deques_[victim].jobs.pop_front();
+      next_victim_ = victim + 1;
+      ++steals_;
+      stolen = true;
+      return true;
+    }
+    if (stopping_) return false;
+    work_cv_.wait(lock);
+  }
+}
+
+void Scheduler::worker_main(unsigned me) {
+  std::uint64_t id = 0;
+  bool stolen = false;
+  while (next_job(me, id, stolen)) run_slice(me, id, stolen);
+}
+
+void Scheduler::run_slice(unsigned me, std::uint64_t id, bool stolen) {
+  JobRecord rec;
+  bool first_slice = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    first_slice = it->second.state == JobState::kQueued &&
+                  it->second.snapshot.empty() &&
+                  it->second.run_end_ticks == 0;
+    it->second.state = JobState::kRunning;
+    last_worker_[id] = me;
+    rec = it->second;
+  }
+  if (first_slice) emit(JobEvent::Kind::kStarted, rec, me, stolen);
+
+  std::uint64_t slice = rec.spec.slice_ticks != 0
+                            ? rec.spec.slice_ticks
+                            : options_.default_slice_ticks;
+  bool done = false;
+  try {
+    done = rec.spec.mode == JobMode::kKlee ? slice_klee(rec, slice)
+                                           : slice_pbse(rec, slice);
+    rec.state = done ? JobState::kDone : JobState::kCheckpointed;
+  } catch (const std::exception& e) {
+    rec.state = JobState::kFailed;
+    rec.error = e.what();
+    done = true;
+  }
+
+  bool checkpoint = done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!done) {
+      std::uint64_t& last = last_checkpoint_ticks_[id];
+      if (options_.checkpoint_interval_ticks == 0 ||
+          rec.progress.ticks - last >= options_.checkpoint_interval_ticks) {
+        checkpoint = true;
+        last = rec.progress.ticks;
+      }
+      // Re-queue at our own back: LIFO keeps the job on this worker while
+      // it is idle enough, and an overloaded worker's front is exactly
+      // where thieves look.
+      deques_[me].jobs.push_back(id);
+    } else {
+      if (inflight_ > 0) --inflight_;
+    }
+    jobs_[id] = rec;
+    if (done && inflight_ == 0) idle_cv_.notify_all();
+    if (!done) work_cv_.notify_one();
+  }
+
+  emit(JobEvent::Kind::kMetrics, rec, me, stolen);
+  if (checkpoint) emit(JobEvent::Kind::kCheckpoint, rec, me, stolen);
+  if (rec.state == JobState::kDone) emit(JobEvent::Kind::kDone, rec, me, stolen);
+  if (rec.state == JobState::kFailed)
+    emit(JobEvent::Kind::kFailed, rec, me, stolen);
+}
+
+}  // namespace pbse::server

@@ -1,0 +1,132 @@
+// Work-stealing job scheduler for pbse-serve.
+//
+// Topology: N long-running worker loops submitted to the existing
+// ThreadPool (the pool supplies threads + clean shutdown semantics; the
+// stealing layer lives here). Each worker owns a deque of job ids:
+//
+//   * the owner pushes/pops at the BACK (LIFO — a job it just checkpointed
+//     is hot in cache and likely to be re-run immediately),
+//   * thieves steal from the FRONT (FIFO — the victim's oldest, coldest
+//     job), picking victims round-robin from a per-thief cursor.
+//
+// The unit of scheduling is a SLICE, not a whole campaign: a worker
+// materializes the campaign from the job's pbss snapshot, runs
+// `slice_ticks` of budget, re-serializes, and re-queues. Between slices a
+// job is pure data, which is what makes stealing sound — expression
+// interning is thread-local, so a campaign object must never cross
+// threads, but its snapshot can. Slicing uses the same batch-boundary
+// (klee) / turn-boundary (pbse) cut points as the serialize tests, so a
+// job's final coverage is bit-identical no matter how many workers ran it
+// or how often it migrated.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "server/job.h"
+#include "support/thread_pool.h"
+
+namespace pbse::server {
+
+struct SchedulerOptions {
+  unsigned workers = 2;
+  /// Slice length for jobs that don't set their own (ticks of budget per
+  /// scheduling quantum).
+  std::uint64_t default_slice_ticks = 50'000;
+  /// Persist a checkpoint when a job's clock has advanced this far since
+  /// the last persisted checkpoint (0 = persist after every slice).
+  std::uint64_t checkpoint_interval_ticks = 0;
+};
+
+/// One scheduler event, delivered on the worker thread that produced it.
+struct JobEvent {
+  enum class Kind : std::uint8_t {
+    kStarted,      // first slice began
+    kMetrics,      // a slice finished; progress updated
+    kCheckpoint,   // a checkpoint should be / was persisted
+    kDone,
+    kFailed,
+  };
+  Kind kind;
+  JobRecord record;  // copy, safe to use on any thread
+  unsigned worker = 0;
+  bool stolen = false;  // this slice ran on a worker that stole the job
+};
+
+class Scheduler {
+ public:
+  using EventFn = std::function<void(const JobEvent&)>;
+
+  /// `on_event` is invoked from worker threads; it must be thread-safe.
+  /// For kCheckpoint events the callback is responsible for persisting
+  /// record.snapshot / record.meta_json() (the scheduler itself is
+  /// filesystem-free and fully unit-testable).
+  Scheduler(SchedulerOptions options, EventFn on_event);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Registers and enqueues a fresh job. Returns its id.
+  std::uint64_t submit(JobSpec spec);
+
+  /// Re-registers a job recovered from disk (crash recovery): it resumes
+  /// from rec.snapshot if present, from scratch otherwise. Keeps rec.id and
+  /// bumps the id counter past it.
+  void resubmit(JobRecord rec);
+
+  /// Snapshot of a job's record (copy); false if unknown id.
+  bool query(std::uint64_t id, JobRecord& out) const;
+  std::vector<std::uint64_t> job_ids() const;
+
+  /// Blocks until every queued job has reached kDone/kFailed.
+  void wait_idle();
+
+  /// Stops workers after their current slice; queued jobs stay queued
+  /// (their state is preserved for a later resubmit).
+  void stop();
+
+  /// Total slices executed by workers other than the job's previous one —
+  /// the smoke test asserts stealing actually happens under load.
+  std::uint64_t steals() const { return steals_; }
+
+ private:
+  struct WorkerDeque {
+    std::deque<std::uint64_t> jobs;
+  };
+
+  void worker_main(unsigned me);
+  bool next_job(unsigned me, std::uint64_t& id, bool& stolen);
+  void run_slice(unsigned me, std::uint64_t id, bool stolen);
+  void emit(JobEvent::Kind kind, const JobRecord& rec, unsigned worker,
+            bool stolen);
+
+  SchedulerOptions options_;
+  EventFn on_event_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::map<std::uint64_t, JobRecord> jobs_;
+  std::vector<WorkerDeque> deques_;
+  std::map<std::uint64_t, std::uint64_t> last_checkpoint_ticks_;
+  std::map<std::uint64_t, unsigned> last_worker_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t inflight_ = 0;  // queued + running
+  std::uint64_t next_victim_ = 0;
+  std::uint64_t steals_ = 0;
+  bool stopping_ = false;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::future<void>> workers_;
+};
+
+}  // namespace pbse::server

@@ -1,0 +1,375 @@
+#include "server/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "serialize/pbss.h"
+
+namespace pbse::server {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+std::string job_pbss_path(const std::string& dir, std::uint64_t id) {
+  return dir + "/job-" + std::to_string(id) + ".pbss";
+}
+
+std::string job_meta_path(const std::string& dir, std::uint64_t id) {
+  return dir + "/job-" + std::to_string(id) + ".json";
+}
+
+/// Atomic small-file write for JSON metadata (same tmp+rename discipline as
+/// serialize::write_file_atomic, but for a string payload).
+void write_text_atomic(const std::string& path, const std::string& text) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) sys_fail("open " + tmp);
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = std::fflush(f) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0)
+    sys_fail("write " + path);
+}
+
+std::string read_text(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) sys_fail("open " + path);
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+const char* event_kind_name(JobEvent::Kind kind) {
+  switch (kind) {
+    case JobEvent::Kind::kStarted: return "job_started";
+    case JobEvent::Kind::kMetrics: return "metrics";
+    case JobEvent::Kind::kCheckpoint: return "checkpoint";
+    case JobEvent::Kind::kDone: return "done";
+    case JobEvent::Kind::kFailed: return "failed";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() {
+  if (scheduler_) scheduler_->stop();
+  for (Client& c : clients_)
+    if (c.fd >= 0) ::close(c.fd);
+  if (unix_fd_ >= 0) ::close(unix_fd_);
+  if (tcp_fd_ >= 0) ::close(tcp_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  if (!options_.socket_path.empty()) ::unlink(options_.socket_path.c_str());
+}
+
+void Server::start() {
+  std::filesystem::create_directories(options_.state_dir);
+  if (::pipe(wake_pipe_) != 0) sys_fail("pipe");
+  // Both ends non-blocking: the poll loop drains opportunistically, and a
+  // full pipe must never stall a worker (wakeups are best-effort).
+  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+  bind_sockets();
+  scheduler_ = std::make_unique<Scheduler>(
+      options_.scheduler, [this](const JobEvent& ev) { on_scheduler_event(ev); });
+  recover_state_dir();
+  running_ = true;
+}
+
+void Server::bind_sockets() {
+  // Unix-domain listener. A stale socket file from a crashed daemon must
+  // not block restart — recovery-on-restart is the whole point.
+  ::unlink(options_.socket_path.c_str());
+  unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (unix_fd_ < 0) sys_fail("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long: " + options_.socket_path);
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    sys_fail("bind " + options_.socket_path);
+  if (::listen(unix_fd_, 16) != 0) sys_fail("listen " + options_.socket_path);
+
+  if (options_.tcp_port != 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) sys_fail("socket(AF_INET)");
+    int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in in{};
+    in.sin_family = AF_INET;
+    in.sin_port = htons(options_.tcp_port);
+    in.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // local-only, no auth layer
+    if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&in), sizeof(in)) != 0)
+      sys_fail("bind 127.0.0.1:" + std::to_string(options_.tcp_port));
+    if (::listen(tcp_fd_, 16) != 0) sys_fail("listen tcp");
+  }
+}
+
+void Server::recover_state_dir() {
+  namespace fs = std::filesystem;
+  std::vector<std::uint64_t> ids;
+  for (const auto& entry : fs::directory_iterator(options_.state_dir)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("job-", 0) != 0) continue;
+    if (name.size() < 10 || name.substr(name.size() - 5) != ".json") continue;
+    ids.push_back(std::strtoull(name.c_str() + 4, nullptr, 10));
+  }
+  std::sort(ids.begin(), ids.end());
+  for (std::uint64_t id : ids) {
+    try {
+      Json meta = parse_json(read_text(job_meta_path(options_.state_dir, id)));
+      JobRecord rec = JobRecord::from_meta_json(meta);
+      if (meta.get_bool("has_snapshot", false))
+        rec.snapshot = serialize::read_file(job_pbss_path(options_.state_dir, id));
+      bool resumes = rec.state != JobState::kDone && rec.state != JobState::kFailed;
+      scheduler_->resubmit(std::move(rec));
+      if (resumes) ++recovered_jobs_;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pbse-serve: skipping unrecoverable job %llu: %s\n",
+                   static_cast<unsigned long long>(id), e.what());
+    }
+  }
+}
+
+void Server::request_stop() {
+  running_ = false;
+  char b = 'q';
+  if (wake_pipe_[1] >= 0 && ::write(wake_pipe_[1], &b, 1) < 0) {
+    // Poll loop will notice running_ on its next timeout round.
+  }
+}
+
+void Server::request_stop_when_idle() {
+  if (scheduler_) scheduler_->wait_idle();
+  request_stop();
+}
+
+void Server::on_scheduler_event(const JobEvent& ev) {
+  {
+    std::lock_guard<std::mutex> lock(events_mu_);
+    events_.push_back(ev);
+  }
+  char b = 'e';
+  if (::write(wake_pipe_[1], &b, 1) < 0) {
+    // Wakeup is best-effort; the poll timeout drains the queue regardless.
+  }
+}
+
+void Server::persist_checkpoint(const JobRecord& rec) {
+  // Snapshot first, metadata second: metadata claiming has_snapshot with no
+  // snapshot present would brick recovery, the reverse merely wastes bytes.
+  if (!rec.snapshot.empty())
+    serialize::write_file_atomic(job_pbss_path(options_.state_dir, rec.id),
+                                 rec.snapshot);
+  write_text_atomic(job_meta_path(options_.state_dir, rec.id),
+                    rec.meta_json().dump());
+}
+
+Json Server::record_json(const JobRecord& rec) {
+  Json j = rec.meta_json();
+  // The wire copy drops internal fields nobody outside recovery cares about.
+  return j;
+}
+
+Json Server::event_json(const JobEvent& ev) {
+  Json j = Json::object();
+  j.set("event", Json::string(event_kind_name(ev.kind)));
+  j.set("job", Json::number(ev.record.id));
+  j.set("state", Json::string(job_state_name(ev.record.state)));
+  j.set("progress", ev.record.progress.to_json());
+  j.set("worker", Json::number(ev.worker));
+  j.set("stolen", Json::boolean(ev.stolen));
+  if (!ev.record.error.empty())
+    j.set("error", Json::string(ev.record.error));
+  return j;
+}
+
+void Server::forward_event(const JobEvent& ev) {
+  bool terminal = ev.kind == JobEvent::Kind::kDone ||
+                  ev.kind == JobEvent::Kind::kFailed;
+  for (Client& c : clients_) {
+    auto it = std::find(c.waits.begin(), c.waits.end(), ev.record.id);
+    if (it == c.waits.end()) continue;
+    try {
+      send_message(c.fd, event_json(ev));
+    } catch (const ProtocolError&) {
+      // Client went away; the poll loop reaps the fd.
+    }
+    if (terminal) c.waits.erase(it);
+  }
+}
+
+void Server::drain_events() {
+  while (true) {
+    JobEvent ev;
+    {
+      std::lock_guard<std::mutex> lock(events_mu_);
+      if (events_.empty()) return;
+      ev = std::move(events_.front());
+      events_.pop_front();
+    }
+    if (ev.kind == JobEvent::Kind::kCheckpoint ||
+        ev.kind == JobEvent::Kind::kDone ||
+        ev.kind == JobEvent::Kind::kFailed) {
+      try {
+        persist_checkpoint(ev.record);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "pbse-serve: checkpoint of job %llu failed: %s\n",
+                     static_cast<unsigned long long>(ev.record.id), e.what());
+      }
+    }
+    forward_event(ev);
+  }
+}
+
+void Server::accept_client(int listen_fd) {
+  int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return;
+  Client c;
+  c.fd = fd;
+  clients_.push_back(c);
+}
+
+Json Server::handle_request(Client& client, const Json& req) {
+  std::string cmd = req.get_string("cmd", "");
+  Json resp = Json::object();
+  if (cmd == "ping") {
+    resp.set("ok", Json::boolean(true));
+    resp.set("pong", Json::boolean(true));
+    return resp;
+  }
+  if (cmd == "submit") {
+    JobSpec spec = JobSpec::from_json(req.get("spec"));
+    std::uint64_t id = scheduler_->submit(std::move(spec));
+    resp.set("ok", Json::boolean(true));
+    resp.set("job", Json::number(id));
+    return resp;
+  }
+  if (cmd == "status") {
+    JobRecord rec;
+    if (!scheduler_->query(req.get_u64("job", 0), rec))
+      throw ProtocolError("no such job");
+    resp.set("ok", Json::boolean(true));
+    resp.set("record", record_json(rec));
+    return resp;
+  }
+  if (cmd == "list") {
+    Json jobs = Json::array();
+    for (std::uint64_t id : scheduler_->job_ids()) {
+      JobRecord rec;
+      if (scheduler_->query(id, rec)) jobs.push_back(record_json(rec));
+    }
+    resp.set("ok", Json::boolean(true));
+    resp.set("jobs", std::move(jobs));
+    return resp;
+  }
+  if (cmd == "wait") {
+    std::uint64_t id = req.get_u64("job", 0);
+    JobRecord rec;
+    if (!scheduler_->query(id, rec)) throw ProtocolError("no such job");
+    resp.set("ok", Json::boolean(true));
+    resp.set("record", record_json(rec));
+    if (rec.state == JobState::kDone || rec.state == JobState::kFailed) {
+      // Already terminal: the ack above carries the final record; no
+      // subscription, no event stream.
+      resp.set("already_done", Json::boolean(true));
+    } else {
+      client.waits.push_back(id);
+    }
+    return resp;
+  }
+  if (cmd == "shutdown") {
+    resp.set("ok", Json::boolean(true));
+    running_ = false;
+    return resp;
+  }
+  throw ProtocolError("unknown command '" + cmd + "'");
+}
+
+void Server::handle_client(Client& client) {
+  Json req;
+  bool alive = false;
+  try {
+    alive = recv_message(client.fd, req);
+  } catch (const ProtocolError&) {
+    alive = false;
+  }
+  if (!alive) {
+    ::close(client.fd);
+    client.fd = -1;
+    return;
+  }
+  Json resp;
+  try {
+    resp = handle_request(client, req);
+  } catch (const std::exception& e) {
+    resp = Json::object();
+    resp.set("ok", Json::boolean(false));
+    resp.set("error", Json::string(e.what()));
+  }
+  try {
+    send_message(client.fd, resp);
+  } catch (const ProtocolError&) {
+    ::close(client.fd);
+    client.fd = -1;
+  }
+}
+
+void Server::serve_forever() {
+  while (running_) {
+    std::vector<pollfd> fds;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({unix_fd_, POLLIN, 0});
+    if (tcp_fd_ >= 0) fds.push_back({tcp_fd_, POLLIN, 0});
+    std::size_t first_client = fds.size();
+    for (Client& c : clients_) fds.push_back({c.fd, POLLIN, 0});
+
+    int rc = ::poll(fds.data(), fds.size(), 200);
+    if (rc < 0 && errno != EINTR) sys_fail("poll");
+
+    if (fds[0].revents & POLLIN) {
+      char buf[64];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) == sizeof(buf)) {
+      }
+    }
+    drain_events();
+    if (fds[1].revents & POLLIN) accept_client(unix_fd_);
+    if (tcp_fd_ >= 0 && (fds[2].revents & POLLIN)) accept_client(tcp_fd_);
+    for (std::size_t i = first_client; i < fds.size(); ++i) {
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+        handle_client(clients_[i - first_client]);
+    }
+    clients_.erase(std::remove_if(clients_.begin(), clients_.end(),
+                                  [](const Client& c) { return c.fd < 0; }),
+                   clients_.end());
+  }
+  // Drain: let in-flight slices finish and persist their checkpoints so a
+  // clean shutdown is always resumable.
+  scheduler_->stop();
+  drain_events();
+}
+
+}  // namespace pbse::server

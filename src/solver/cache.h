@@ -108,6 +108,11 @@ class QueryCache {
   std::size_t size() const { return entries_.size(); }
   void clear() { entries_.clear(); }
 
+  /// Raw entry map, for snapshot (src/serialize). Restore uses insert().
+  const std::unordered_map<std::uint64_t, Entry>& entries() const {
+    return entries_;
+  }
+
  private:
   std::unordered_map<std::uint64_t, Entry> entries_;
 };
@@ -143,6 +148,26 @@ class CexStore {
   void clear() {
     models_.clear();
     unsat_.clear();
+  }
+
+  /// Raw maps, for snapshot (src/serialize). Restore must preserve the
+  /// per-key list ORDER exactly (FIFO position is eviction state), so it
+  /// writes through these rather than re-adding through the bounded
+  /// inserters.
+  const std::unordered_map<std::uint64_t, std::vector<ModelBytes>>&
+  raw_models() const {
+    return models_;
+  }
+  const std::unordered_map<std::uint64_t,
+                           std::vector<std::vector<std::uint64_t>>>&
+  raw_cores() const {
+    return unsat_;
+  }
+  std::vector<ModelBytes>& mutable_models(std::uint64_t key) {
+    return models_[key];
+  }
+  std::vector<std::vector<std::uint64_t>>& mutable_cores(std::uint64_t key) {
+    return unsat_[key];
   }
 
  private:

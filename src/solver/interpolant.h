@@ -87,9 +87,22 @@ class InterpolantTable {
     barren_.clear();
   }
 
- private:
   using Map =
       std::unordered_map<std::uint64_t, std::vector<std::vector<std::uint64_t>>>;
+
+  /// Raw maps, for snapshot/restore (src/serialize). Restore writes
+  /// per-key lists verbatim — list order is eviction state, and the
+  /// kMaxKeys wholesale-clear trigger depends on exact key counts.
+  const Map& raw_unsat() const { return unsat_; }
+  const Map& raw_barren() const { return barren_; }
+  std::vector<std::vector<std::uint64_t>>& mutable_unsat(std::uint64_t key) {
+    return unsat_[key];
+  }
+  std::vector<std::vector<std::uint64_t>>& mutable_barren(std::uint64_t key) {
+    return barren_[key];
+  }
+
+ private:
 
   static void add(Map& map, std::uint64_t key,
                   const std::vector<std::uint64_t>& entry) {

@@ -89,7 +89,7 @@ bool pin_assembly(const ExprRef& e, std::uint64_t value, DomainMap& domains,
   }
   for (const auto& lane : lanes) {
     const auto byte = static_cast<std::uint8_t>((value >> lane.bit_offset) & 0xff);
-    ByteDomain& d = domains.domain(lane.array.get(), lane.index);
+    ByteDomain& d = domains.domain(lane.array, lane.index);
     if (!d.allows(byte)) {
       unsat = true;
       return true;
@@ -111,7 +111,7 @@ bool pin_equality(const ExprRef& e, std::uint64_t value, DomainMap& domains,
       return true;
     case ExprKind::kRead: {
       const auto byte = static_cast<std::uint8_t>(value);
-      ByteDomain& d = domains.domain(e->array().get(), e->read_index());
+      ByteDomain& d = domains.domain(e->array(), e->read_index());
       if (!d.allows(byte)) {
         unsat = true;
         return true;
@@ -343,7 +343,7 @@ void prune_ule_assembly(const ExprRef& assembly, std::uint64_t bound,
   for (const auto& lane : lanes) {
     const std::uint64_t lane_max = bound >> lane.bit_offset;
     if (lane_max >= 255) continue;
-    ByteDomain& d = domains.domain(lane.array.get(), lane.index);
+    ByteDomain& d = domains.domain(lane.array, lane.index);
     std::bitset<256> keep;
     for (unsigned v = 0; v <= lane_max; ++v) keep.set(v);
     d.intersect(keep);
@@ -405,7 +405,7 @@ bool propagate_domains(const std::vector<ExprRef>& constraints,
     // Propagator 1: single-byte constraints enumerated exactly.
     if (reads.size() == 1) {
       const ReadSite& site = reads[0];
-      ByteDomain& d = domains.domain(site.array.get(), site.index);
+      ByteDomain& d = domains.domain(site.array, site.index);
       Assignment probe;
       auto& bytes = probe.mutable_bytes(site.array);
       std::bitset<256> feasible;

@@ -38,6 +38,20 @@ class ByteDomain {
   /// Values in ascending order.
   std::vector<std::uint8_t> values() const;
 
+  /// Word-level access for snapshot/restore (src/serialize): the 256-bit
+  /// set as 4 little-endian u64 words (word w holds values [64w, 64w+64)).
+  std::array<std::uint64_t, 4> words() const {
+    std::array<std::uint64_t, 4> w{};
+    for (unsigned v = 0; v < 256; ++v)
+      if (allowed_[v]) w[v / 64] |= std::uint64_t{1} << (v % 64);
+    return w;
+  }
+  void set_words(const std::array<std::uint64_t, 4>& w) {
+    allowed_.reset();
+    for (unsigned v = 0; v < 256; ++v)
+      if ((w[v / 64] >> (v % 64)) & 1) allowed_.set(v);
+  }
+
  private:
   std::bitset<256> allowed_;
 };
@@ -47,26 +61,48 @@ class ByteDomain {
 /// partition and seeds later queries from a copy.
 class DomainMap {
  public:
-  ByteDomain& domain(const Array* array, std::uint32_t index) {
-    return domains_[key(array, index)];
+  /// One byte's entry. Carries the (array, index) identity alongside the
+  /// domain so the map can be serialized: the pointer-derived hash key is
+  /// process-local, but a slot's identity is stable and lets a restored
+  /// campaign rebuild the map against its own canonical arrays.
+  struct Slot {
+    ArrayRef array;
+    std::uint32_t index = 0;
+    ByteDomain dom;
+  };
+
+  ByteDomain& domain(const ArrayRef& array, std::uint32_t index) {
+    Slot& s = domains_[key(array.get(), index)];
+    if (s.array == nullptr) {
+      s.array = array;
+      s.index = index;
+    }
+    return s.dom;
   }
   const ByteDomain* find(const Array* array, std::uint32_t index) const {
     auto it = domains_.find(key(array, index));
-    return it == domains_.end() ? nullptr : &it->second;
+    return it == domains_.end() ? nullptr : &it->second.dom;
   }
   bool any_empty() const {
-    for (const auto& [k, d] : domains_)
-      if (d.empty()) return true;
+    for (const auto& [k, s] : domains_)
+      if (s.dom.empty()) return true;
     return false;
   }
   /// Number of bytes with an explicit domain (charging / bookkeeping).
   std::size_t size() const { return domains_.size(); }
 
+  /// Raw slots, for snapshot (src/serialize). Unordered — the codec sorts
+  /// by (array name, index) for a canonical encoding. Restore goes through
+  /// domain(), which re-keys against the restored process's arrays.
+  const std::unordered_map<std::uint64_t, Slot>& slots() const {
+    return domains_;
+  }
+
  private:
   static std::uint64_t key(const Array* array, std::uint32_t index) {
     return (reinterpret_cast<std::uintptr_t>(array) << 20) ^ index;
   }
-  std::unordered_map<std::uint64_t, ByteDomain> domains_;
+  std::unordered_map<std::uint64_t, Slot> domains_;
 };
 
 /// Runs both propagators over `constraints`, refining `domains`.

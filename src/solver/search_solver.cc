@@ -165,7 +165,7 @@ SolverResult backtracking_search(const std::vector<ExprRef>& constraints,
   auto restore_path = [&](std::size_t up_to_depth) {
     for (std::size_t d = 0; d <= up_to_depth && d < order.size(); ++d) {
       Var& pv = vars[order[d]];
-      domains.domain(pv.array.get(), pv.index) = saved_domain[d];
+      domains.domain(pv.array, pv.index) = saved_domain[d];
     }
   };
 
@@ -173,7 +173,7 @@ SolverResult backtracking_search(const std::vector<ExprRef>& constraints,
   // Iterative DFS with an explicit choice stack.
   std::vector<std::size_t> choice(order.size(), 0);
   std::size_t depth = 0;
-  saved_domain[0] = domains.domain(vars[order[0]].array.get(),
+  saved_domain[0] = domains.domain(vars[order[0]].array,
                                    vars[order[0]].index);
   while (true) {
     if (depth == order.size()) {
@@ -187,7 +187,7 @@ SolverResult backtracking_search(const std::vector<ExprRef>& constraints,
       return SolverResult::kSat;
     }
     Var& v = vars[order[depth]];
-    ByteDomain& dom = domains.domain(v.array.get(), v.index);
+    ByteDomain& dom = domains.domain(v.array, v.index);
     bool advanced = false;
     while (choice[depth] < v.candidates.size()) {
       if (++nodes > max_nodes || cost_out > eval_limit) {
@@ -222,7 +222,7 @@ SolverResult backtracking_search(const std::vector<ExprRef>& constraints,
         if (depth < choice.size()) {
           choice[depth] = 0;
           Var& nv = vars[order[depth]];
-          saved_domain[depth] = domains.domain(nv.array.get(), nv.index);
+          saved_domain[depth] = domains.domain(nv.array, nv.index);
         }
         advanced = true;
         break;

@@ -35,6 +35,10 @@
 
 namespace pbse {
 
+namespace serialize {
+class CampaignCodec;
+}
+
 struct SolverOptions {
   /// Backtracking node budget per query.
   std::uint64_t max_search_nodes = 40000;
@@ -136,6 +140,14 @@ class Solver {
   }
 
  private:
+  /// Snapshots the solver's L1 stores (cache_, cex_, domain_memo_,
+  /// interpolants_) — they steer tick charging and control flow, so a
+  /// tick-exact resume must restore them. hint_evaluators_ is NOT
+  /// snapshotted: evaluator memo warmth never affects charging (all
+  /// charges use expr_cost / domain sizes), so rebuilding it lazily after
+  /// restore is observationally identical.
+  friend class serialize::CampaignCodec;
+
   /// Slice metadata threaded through the pipeline: which independence
   /// partitions the query touches (counterexample / domain-memo keys) and
   /// which list element is the query (for prefix hashing).

@@ -5,6 +5,7 @@
 // bit-exact determinism.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -61,6 +62,15 @@ class Rng {
 
   /// Bernoulli trial with probability p.
   bool chance(double p) { return uniform() < p; }
+
+  /// Raw generator state, for snapshot/restore (src/serialize). A restored
+  /// Rng continues the exact sequence the saved one would have produced.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s[i];
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

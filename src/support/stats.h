@@ -81,6 +81,8 @@ class Stats {
   void merge(const Stats& other) { store_.merge(other.store_); }
 
   const obs::MetricStore& store() const { return store_; }
+  /// Mutable store, for snapshot restore (src/serialize).
+  obs::MetricStore& mutable_store() { return store_; }
 
  private:
   obs::MetricStore store_;

@@ -1,5 +1,7 @@
 #include "support/thread_pool.h"
 
+#include <stdexcept>
+
 namespace pbse {
 
 ThreadPool::ThreadPool(unsigned num_threads) {
@@ -26,6 +28,11 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Reject rather than enqueue: a task pushed after the workers were
+    // told to stop could be popped by no one, leaving a future that never
+    // becomes ready — an error here is diagnosable, a lost task hangs.
+    if (stopping_)
+      throw std::runtime_error("ThreadPool::submit: pool is shutting down");
     queue_.push(std::move(task));
   }
   cv_.notify_one();

@@ -36,6 +36,9 @@ class ThreadPool {
 
   /// Enqueues `fn` and returns a future that becomes ready when it
   /// finishes. An exception escaping `fn` is delivered through the future.
+  /// Throws std::runtime_error if the pool is already shutting down — a
+  /// rejected task is diagnosable; a silently dropped one would leave its
+  /// future forever pending.
   std::future<void> submit(std::function<void()> fn);
 
   /// Number of worker threads (0 in inline mode).

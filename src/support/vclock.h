@@ -25,6 +25,10 @@ class VClock {
 
   void reset() { now_ = 0; }
 
+  /// Restores a snapshotted tick count (src/serialize): a resumed campaign
+  /// continues from the exact virtual time it was checkpointed at.
+  void set(Ticks now) { now_ = now; }
+
  private:
   Ticks now_ = 0;
 };

@@ -28,6 +28,7 @@
 #include "obs/trace.h"
 #include "core/parallel.h"
 #include "phase/phase_analysis.h"
+#include "support/argparse.h"
 #include "targets/targets.h"
 
 namespace {
@@ -93,8 +94,11 @@ bool parse_args(int argc, char** argv, Args& args) {
     } else if (const char* v = value_of("--seed-scale=")) {
       args.seed_scale = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = value_of("--jobs=")) {
-      args.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-      if (args.jobs == 0) args.jobs = 1;
+      std::string error;
+      if (!support::parse_positive_count("--jobs", v, args.jobs, error)) {
+        std::fprintf(stderr, "pbse: %s\n", error.c_str());
+        return false;
+      }
     } else if (const char* v = value_of("--target=")) {
       args.target = v;
     } else if (const char* v = value_of("--trace=")) {

@@ -1,0 +1,115 @@
+// pbse-serve: campaign daemon. Accepts jobs over a Unix (or loopback TCP)
+// socket, runs them on a work-stealing scheduler, checkpoints to the state
+// directory, and resumes interrupted jobs on restart. See DESIGN.md §11.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "server/server.h"
+#include "support/argparse.h"
+
+namespace {
+
+pbse::server::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server) g_server->request_stop();
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: pbse-serve [options]\n"
+      "  --socket=PATH     unix socket to listen on (default "
+      "pbse-serve.sock)\n"
+      "  --tcp-port=N      also listen on 127.0.0.1:N (default off)\n"
+      "  --state-dir=DIR   checkpoint directory (default pbse-serve-state)\n"
+      "  --workers=N       scheduler worker threads (default 2)\n"
+      "  --slice=TICKS     default slice length (default 50000)\n"
+      "  --checkpoint-interval=TICKS  min ticks between persisted\n"
+      "                    checkpoints (default 0 = every slice)\n"
+      "  --oneshot         exit once every queued job is done (smoke tests)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pbse::server::ServerOptions options;
+  bool oneshot = false;
+  std::string error;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&arg](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--socket=")) {
+      options.socket_path = v;
+    } else if (const char* v = value_of("--state-dir=")) {
+      options.state_dir = v;
+    } else if (const char* v = value_of("--tcp-port=")) {
+      std::uint64_t port = 0;
+      if (!pbse::support::parse_u64_flag("--tcp-port", v, 1, port, error) ||
+          port > 65535) {
+        std::fprintf(stderr, "pbse-serve: %s\n",
+                     error.empty() ? "--tcp-port out of range" : error.c_str());
+        return usage();
+      }
+      options.tcp_port = static_cast<std::uint16_t>(port);
+    } else if (const char* v = value_of("--workers=")) {
+      if (!pbse::support::parse_positive_count("--workers", v,
+                                               options.scheduler.workers,
+                                               error)) {
+        std::fprintf(stderr, "pbse-serve: %s\n", error.c_str());
+        return usage();
+      }
+    } else if (const char* v = value_of("--slice=")) {
+      if (!pbse::support::parse_u64_flag(
+              "--slice", v, 1, options.scheduler.default_slice_ticks, error)) {
+        std::fprintf(stderr, "pbse-serve: %s\n", error.c_str());
+        return usage();
+      }
+    } else if (const char* v = value_of("--checkpoint-interval=")) {
+      if (!pbse::support::parse_u64_flag(
+              "--checkpoint-interval", v, 0,
+              options.scheduler.checkpoint_interval_ticks, error)) {
+        std::fprintf(stderr, "pbse-serve: %s\n", error.c_str());
+        return usage();
+      }
+    } else if (arg == "--oneshot") {
+      oneshot = true;
+    } else {
+      std::fprintf(stderr, "pbse-serve: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  try {
+    pbse::server::Server server(options);
+    g_server = &server;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    server.start();
+    std::printf("pbse-serve: listening on %s (%u workers, %zu jobs recovered)\n",
+                options.socket_path.c_str(), options.scheduler.workers,
+                server.recovered_jobs());
+    std::fflush(stdout);
+    if (oneshot) {
+      // Oneshot still serves the socket (a client may stream events); a
+      // watcher thread flips running_ once the scheduler drains.
+      std::thread waiter([&server] { server.request_stop_when_idle(); });
+      server.serve_forever();
+      waiter.join();
+    } else {
+      server.serve_forever();
+    }
+    g_server = nullptr;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pbse-serve: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -34,6 +34,10 @@
 #include "vm/state.h"
 #include "vm/testcase.h"
 
+namespace pbse::serialize {
+class CampaignCodec;
+}
+
 namespace pbse::vm {
 
 struct ExecutorOptions {
@@ -150,6 +154,12 @@ class Executor {
   bool validate_model(ExecutionState& state);
 
  private:
+  /// Snapshots/restores campaign progress (coverage, bugs, test cases, id
+  /// counters, dedup sets). input_array_ is re-bound by the codec so that
+  /// restored expressions intern against the canonical array of the
+  /// restoring process. symbolic_mode_ is transient (false between steps).
+  friend class pbse::serialize::CampaignCodec;
+
   struct ConcolicCtx {
     Solver::HintRef seed;
     CachingEvaluator* seed_eval = nullptr;

@@ -66,6 +66,20 @@ class Memory {
 
   std::size_t num_objects() const { return objects_.size(); }
 
+  /// Snapshot/restore access (src/serialize). restore_object installs a
+  /// shared MemObject under an explicit id — installing the SAME pointer
+  /// into several states preserves the copy-on-write sharing the snapshot
+  /// recorded, so a restored campaign forks as cheaply as the original.
+  const std::unordered_map<std::uint32_t, std::shared_ptr<MemObject>>&
+  objects() const {
+    return objects_;
+  }
+  void restore_object(std::uint32_t id, std::shared_ptr<MemObject> obj) {
+    objects_[id] = std::move(obj);
+  }
+  std::uint32_t next_id() const { return next_id_; }
+  void set_next_id(std::uint32_t id) { next_id_ = id; }
+
  private:
   std::unordered_map<std::uint32_t, std::shared_ptr<MemObject>> objects_;
   std::uint32_t next_id_ = 0;

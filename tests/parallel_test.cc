@@ -71,6 +71,53 @@ TEST(ThreadPool, DestructorDrainsQueue) {
   EXPECT_EQ(counter.load(), 32);
 }
 
+TEST(ThreadPool, ThrowingTaskDoesNotWedgePool) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker that ran the throwing task must still serve later tasks.
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i)
+    futures.push_back(pool.submit([&ran] { ++ran; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, SubmitDuringShutdownIsRejectedNotLost) {
+  std::promise<void> task_started;
+  std::promise<void> release_task;
+  bool late_submit_threw = false;
+  std::atomic<int> queued_ran{0};
+
+  auto* pool = new ThreadPool(1);
+  // Occupy the single worker so the destructor has to wait on us.
+  auto blocker = pool->submit([&] {
+    task_started.set_value();
+    release_task.get_future().wait();
+  });
+  // Queue more work behind the blocker; the destructor must run it all.
+  for (int i = 0; i < 4; ++i) pool->submit([&queued_ran] { ++queued_ran; });
+  task_started.get_future().wait();
+
+  std::thread destroyer([&] { delete pool; });
+  // Give the destructor time to flip the pool into shutdown, then try to
+  // submit from outside: the pool must REJECT it loudly (throw), never
+  // accept-and-drop it (a silently dropped task leaves a future pending
+  // forever).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  try {
+    pool->submit([] {});
+  } catch (const std::runtime_error&) {
+    late_submit_threw = true;
+  }
+  release_task.set_value();
+  destroyer.join();
+
+  EXPECT_TRUE(late_submit_threw);
+  EXPECT_EQ(queued_ran.load(), 4);  // queued work survived shutdown
+}
+
 // --- ShardedQueryCache ------------------------------------------------------
 
 TEST(ShardedCache, UnsatRoundTripsByKey) {

@@ -1,0 +1,352 @@
+// pbss snapshot/restore properties (DESIGN.md §11):
+//  * framing rejects truncation, corruption and flavor mismatch loudly,
+//  * expression/assignment/memory sharing survives the round trip,
+//  * serialize(deserialize(snapshot)) is byte-for-byte identical,
+//  * a campaign sliced at a batch boundary, snapshotted, restored into a
+//    fresh process-state and resumed is TICK-EXACT against the monolithic
+//    run — same coverage, same clock, same final snapshot bytes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/driver.h"
+#include "serialize/campaign_codec.h"
+#include "serialize/pbss.h"
+#include "serialize/state_codec.h"
+#include "targets/targets.h"
+
+namespace pbse {
+namespace {
+
+using serialize::CampaignCodec;
+using serialize::Decoder;
+using serialize::Encoder;
+using serialize::SnapshotError;
+using serialize::SnapshotFlavor;
+using serialize::StateCodec;
+
+// --- Framing --------------------------------------------------------------
+
+std::vector<std::uint8_t> some_payload() {
+  Encoder enc;
+  enc.u64(0xdeadbeefcafef00dULL);
+  enc.str("hello snapshot");
+  return enc.data();
+}
+
+TEST(Pbss, FramingRoundTrip) {
+  const auto payload = some_payload();
+  const auto framed = serialize::frame_snapshot(SnapshotFlavor::kKlee, payload);
+  EXPECT_EQ(serialize::unframe_snapshot(framed, SnapshotFlavor::kKlee),
+            payload);
+}
+
+TEST(Pbss, ChecksumCatchesEveryBitFlip) {
+  const auto framed =
+      serialize::frame_snapshot(SnapshotFlavor::kKlee, some_payload());
+  // Flip one bit at several offsets spanning header, payload and footer.
+  for (std::size_t at : {std::size_t{0}, std::size_t{5}, framed.size() / 2,
+                         framed.size() - 1}) {
+    auto bad = framed;
+    bad[at] ^= 0x10;
+    EXPECT_THROW(serialize::unframe_snapshot(bad, SnapshotFlavor::kKlee),
+                 SnapshotError)
+        << "bit flip at offset " << at;
+  }
+}
+
+TEST(Pbss, TruncationCaught) {
+  const auto framed =
+      serialize::frame_snapshot(SnapshotFlavor::kKlee, some_payload());
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{12},
+                           framed.size() - 1}) {
+    std::vector<std::uint8_t> cut(framed.begin(), framed.begin() + keep);
+    EXPECT_THROW(serialize::unframe_snapshot(cut, SnapshotFlavor::kKlee),
+                 SnapshotError)
+        << "truncated to " << keep << " bytes";
+  }
+}
+
+TEST(Pbss, FlavorMismatchCaught) {
+  const auto framed =
+      serialize::frame_snapshot(SnapshotFlavor::kKlee, some_payload());
+  try {
+    serialize::unframe_snapshot(framed, SnapshotFlavor::kPbse);
+    FAIL() << "flavor mismatch must throw";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find("flavor"), std::string::npos);
+  }
+}
+
+TEST(Pbss, TruncatedPayloadDiagnostic) {
+  // A syntactically valid frame whose PAYLOAD is cut short exercises the
+  // decoder's bounds checks (not just the checksum).
+  const auto payload = some_payload();
+  std::vector<std::uint8_t> cut(payload.begin(), payload.begin() + 3);
+  const auto framed = serialize::frame_snapshot(SnapshotFlavor::kKlee, cut);
+  const auto out = serialize::unframe_snapshot(framed, SnapshotFlavor::kKlee);
+  Decoder dec(out);
+  EXPECT_THROW(dec.u64(), SnapshotError);  // wants 8, has 3
+}
+
+TEST(Pbss, AtomicFileRoundTrip) {
+  const std::string path = "pbss_file_roundtrip_test.pbss";
+  const auto framed =
+      serialize::frame_snapshot(SnapshotFlavor::kPbse, some_payload());
+  serialize::write_file_atomic(path, framed);
+  EXPECT_EQ(serialize::read_file(path), framed);
+  // The tmp staging file must be gone after the rename.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) std::fclose(tmp);
+  std::remove(path.c_str());
+  EXPECT_THROW(serialize::read_file(path), SnapshotError);
+}
+
+// --- Structural sharing ---------------------------------------------------
+
+TEST(StateCodecTest, ExprRoundTripPreservesIdentityAndBytes) {
+  const ArrayRef arr = std::make_shared<Array>("file", 16);
+  const ExprRef shared = mk_add(mk_read(arr, 3), mk_const(7, 8));
+  const ExprRef root = mk_mul(shared, mk_sub(shared, mk_read(arr, 5)));
+
+  StateCodec enc_codec;
+  Encoder enc;
+  enc_codec.encode_expr(enc, root);
+
+  StateCodec dec_codec;
+  dec_codec.register_array(arr);
+  Decoder dec(enc.data());
+  const ExprRef back = dec_codec.decode_expr(dec);
+  EXPECT_TRUE(dec.done());
+  // Hash-consing + canonical array rebinding: the decoded root IS the
+  // original node, pointer-identical.
+  EXPECT_EQ(back.get(), root.get());
+
+  // Re-encoding with a fresh codec reproduces the bytes exactly.
+  StateCodec re_codec;
+  Encoder re;
+  re_codec.encode_expr(re, back);
+  EXPECT_EQ(re.data(), enc.data());
+}
+
+TEST(StateCodecTest, WideDagEncodesLinearly) {
+  // A deliberately diamond-heavy DAG: without the visited guard this
+  // encoding would be exponential, and without dedup the decoded tree
+  // would lose sharing.
+  const ArrayRef arr = std::make_shared<Array>("file", 4);
+  ExprRef e = mk_read(arr, 0);
+  for (int i = 0; i < 40; ++i) e = mk_add(e, e);
+
+  StateCodec codec;
+  Encoder enc;
+  codec.encode_expr(enc, e);
+  // 41 unique nodes + framing, nowhere near 2^40.
+  EXPECT_LT(enc.size(), 4096u);
+
+  StateCodec dec_codec;
+  dec_codec.register_array(arr);
+  Decoder dec(enc.data());
+  EXPECT_EQ(dec_codec.decode_expr(dec).get(), e.get());
+}
+
+TEST(StateCodecTest, AssignmentSharingPreserved) {
+  const ArrayRef arr = std::make_shared<Array>("file", 4);
+  auto model = std::make_shared<Assignment>();
+  model->set(arr, {1, 2, 3, 4});
+  const std::shared_ptr<const Assignment> shared = model;
+
+  StateCodec enc_codec;
+  Encoder enc;
+  enc_codec.encode_assignment(enc, shared);
+  enc_codec.encode_assignment(enc, shared);  // second ref: id only
+
+  StateCodec dec_codec;
+  dec_codec.register_array(arr);
+  Decoder dec(enc.data());
+  const auto a = dec_codec.decode_assignment(dec);
+  const auto b = dec_codec.decode_assignment(dec);
+  EXPECT_TRUE(dec.done());
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a.get(), b.get());  // one heap object, shared again
+}
+
+// --- Campaign snapshots ---------------------------------------------------
+
+core::KleeRunOptions klee_options(search::SearcherKind kind) {
+  core::KleeRunOptions options;
+  options.searcher = kind;
+  options.sym_file_size = 100;
+  return options;
+}
+
+TEST(Serialize, KleeSnapshotRestoreReserializesByteForByte) {
+  const ir::Module module = targets::build_target(targets::readelf_source());
+  const auto options = klee_options(search::SearcherKind::kDefault);
+
+  core::KleeRun a(module, "main", options);
+  a.run(200'000);
+  const auto snap = CampaignCodec::snapshot(a);
+
+  core::KleeRun b(module, "main", options);
+  CampaignCodec::restore(b, snap);
+  EXPECT_EQ(CampaignCodec::snapshot(b), snap);
+  EXPECT_EQ(b.executor().num_covered(), a.executor().num_covered());
+  EXPECT_EQ(b.clock().now(), a.clock().now());
+  EXPECT_EQ(b.num_states(), a.num_states());
+  EXPECT_EQ(b.stats().all(), a.stats().all());
+}
+
+TEST(Serialize, KleeRestoreRejectsMismatchedRun) {
+  const ir::Module module = targets::build_target(targets::readelf_source());
+  core::KleeRun a(module, "main", klee_options(search::SearcherKind::kDefault));
+  a.run(50'000);
+  const auto snap = CampaignCodec::snapshot(a);
+
+  auto other = klee_options(search::SearcherKind::kDefault);
+  other.sym_file_size = 200;  // different symbolic input
+  core::KleeRun b(module, "main", other);
+  EXPECT_THROW(CampaignCodec::restore(b, snap), SnapshotError);
+}
+
+TEST(Serialize, KleeSlicedResumeIsTickExact) {
+  const ir::Module module = targets::build_target(targets::readelf_source());
+  const std::uint64_t kBudget = 400'000;
+
+  for (const auto kind :
+       {search::SearcherKind::kDefault, search::SearcherKind::kRandomPath}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    const auto options = klee_options(kind);
+
+    // Monolithic reference run.
+    core::KleeRun a(module, "main", options);
+    const std::uint64_t t0 = a.clock().now();
+    a.run(kBudget);
+    const auto snap_a = CampaignCodec::snapshot(a);
+
+    // Sliced run: stop at the first BATCH boundary past 1/3 budget (never
+    // truncating a batch keeps the searcher/RNG streams aligned), then
+    // snapshot, restore into a fresh run, and finish.
+    core::KleeRun b(module, "main", options);
+    ASSERT_EQ(b.clock().now(), t0);
+    const std::uint64_t slice_at = t0 + kBudget / 3;
+    b.run_sliced(kBudget,
+                 [&b, slice_at] { return b.clock().now() >= slice_at; });
+    const auto mid = CampaignCodec::snapshot(b);
+
+    core::KleeRun c(module, "main", options);
+    CampaignCodec::restore(c, mid);
+    ASSERT_LE(c.clock().now(), t0 + kBudget);
+    c.run(t0 + kBudget - c.clock().now());
+
+    EXPECT_EQ(c.clock().now(), a.clock().now());
+    EXPECT_EQ(c.executor().num_covered(), a.executor().num_covered());
+    EXPECT_EQ(c.executor().bugs().size(), a.executor().bugs().size());
+    EXPECT_EQ(c.stats().all(), a.stats().all());
+    EXPECT_EQ(CampaignCodec::snapshot(c), snap_a);
+  }
+}
+
+TEST(Serialize, PbseSlicedResumeIsTickExact) {
+  const ir::Module module = targets::build_target(targets::readelf_source());
+  const auto seed = targets::make_melf_seed(4);
+  const std::uint64_t kBudget = 500'000;
+
+  // Monolithic reference campaign.
+  core::PbseDriver a(module, "main");
+  ASSERT_TRUE(a.prepare(seed));
+  const std::uint64_t t0 = a.clock().now();
+  a.run(kBudget);
+  const auto snap_a = CampaignCodec::snapshot(a);
+
+  // Sliced campaign: step whole rotation turns until 1/3 budget, snapshot
+  // mid-rotation, restore onto a freshly prepared driver, finish.
+  core::PbseDriver b(module, "main");
+  ASSERT_TRUE(b.prepare(seed));
+  ASSERT_EQ(b.clock().now(), t0);
+  b.begin_run();
+  const Deadline overall_b(b.clock(), kBudget);
+  while (b.clock().now() < t0 + kBudget / 3 && b.step_turn(overall_b)) {
+  }
+  const auto mid = CampaignCodec::snapshot(b);
+
+  core::PbseDriver c(module, "main");
+  ASSERT_TRUE(c.prepare(seed));
+  CampaignCodec::restore(c, mid);
+  ASSERT_EQ(CampaignCodec::snapshot(c), mid);  // restore is lossless
+  ASSERT_LE(c.clock().now(), t0 + kBudget);
+  const Deadline overall_c(c.clock(), t0 + kBudget - c.clock().now());
+  while (c.step_turn(overall_c)) {
+  }
+
+  EXPECT_EQ(c.clock().now(), a.clock().now());
+  EXPECT_EQ(c.executor().num_covered(), a.executor().num_covered());
+  EXPECT_EQ(c.executor().bugs().size(), a.executor().bugs().size());
+  EXPECT_EQ(c.c_time_ticks(), a.c_time_ticks());
+  EXPECT_EQ(c.p_time_ticks(), a.p_time_ticks());
+  EXPECT_EQ(c.bug_phases(), a.bug_phases());
+  EXPECT_EQ(c.stats().all(), a.stats().all());
+  EXPECT_EQ(CampaignCodec::snapshot(c), snap_a);
+}
+
+TEST(Serialize, PbseSnapshotSurvivesRepeatedSlicing) {
+  // Slice every ~40k ticks — many snapshot/restore cycles, each onto a
+  // freshly prepared driver, must still land tick-exact.
+  const ir::Module module = targets::build_target(targets::readelf_source());
+  const auto seed = targets::make_melf_seed(4);
+  const std::uint64_t kBudget = 240'000;
+
+  core::PbseDriver a(module, "main");
+  ASSERT_TRUE(a.prepare(seed));
+  const std::uint64_t t0 = a.clock().now();
+  a.run(kBudget);
+  const auto snap_a = CampaignCodec::snapshot(a);
+
+  core::PbseDriver b(module, "main");
+  ASSERT_TRUE(b.prepare(seed));
+  b.begin_run();
+  auto snap = CampaignCodec::snapshot(b);
+  bool more = true;
+  int slices = 0;
+  while (more) {
+    core::PbseDriver w(module, "main");
+    ASSERT_TRUE(w.prepare(seed));
+    CampaignCodec::restore(w, snap);
+    const std::uint64_t slice_end =
+        std::min(w.clock().now() + 40'000, t0 + kBudget);
+    const Deadline overall(w.clock(), t0 + kBudget - w.clock().now());
+    while ((more = w.step_turn(overall)) && w.clock().now() < slice_end) {
+    }
+    snap = CampaignCodec::snapshot(w);
+    ++slices;
+    ASSERT_LT(slices, 64) << "slicing must terminate";
+  }
+  EXPECT_GE(slices, 3) << "test must actually exercise multiple slices";
+  EXPECT_EQ(snap, snap_a);
+}
+
+TEST(Serialize, CorruptedCampaignSnapshotFailsLoudly) {
+  const ir::Module module = targets::build_target(targets::readelf_source());
+  const auto options = klee_options(search::SearcherKind::kDefault);
+  core::KleeRun a(module, "main", options);
+  a.run(60'000);
+  auto snap = CampaignCodec::snapshot(a);
+
+  // Corrupt one payload byte: checksum catches it.
+  auto flipped = snap;
+  flipped[flipped.size() / 2] ^= 0xff;
+  core::KleeRun b(module, "main", options);
+  EXPECT_THROW(CampaignCodec::restore(b, flipped), SnapshotError);
+
+  // Truncate: caught before any state is touched.
+  std::vector<std::uint8_t> cut(snap.begin(),
+                                snap.begin() + snap.size() / 2);
+  EXPECT_THROW(CampaignCodec::restore(b, cut), SnapshotError);
+
+  // And the intact snapshot still restores afterwards.
+  CampaignCodec::restore(b, snap);
+  EXPECT_EQ(CampaignCodec::snapshot(b), snap);
+}
+
+}  // namespace
+}  // namespace pbse

@@ -1,0 +1,510 @@
+// pbse-serve: wire protocol, work-stealing scheduler, and daemon.
+//
+// The load-bearing properties:
+//  * a job run in slices by the scheduler produces the SAME final campaign
+//    snapshot, byte for byte, as an uninterrupted in-process run (slicing
+//    cuts only at batch/turn boundaries — see tests/serialize_test.cc for
+//    why that preserves the RNG stream);
+//  * a job resumed from a mid-run checkpoint (the crash-recovery path)
+//    finishes identically to one that was never interrupted;
+//  * work stealing migrates jobs between workers without changing results
+//    (jobs are pure snapshot bytes between slices).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/driver.h"
+#include "core/pbse.h"
+#include "serialize/campaign_codec.h"
+#include "serialize/pbss.h"
+#include "server/client.h"
+#include "server/job.h"
+#include "server/protocol.h"
+#include "server/scheduler.h"
+#include "server/server.h"
+#include "targets/targets.h"
+
+namespace pbse::server {
+namespace {
+
+// --- Json / protocol --------------------------------------------------------
+
+TEST(Protocol, JsonRoundTrip) {
+  Json obj = Json::object();
+  obj.set("name", Json::string("hello \"world\"\n"));
+  obj.set("count", Json::number(12345678901234ull));
+  obj.set("flag", Json::boolean(true));
+  obj.set("nothing", Json::null());
+  Json arr = Json::array();
+  arr.push_back(Json::number(1));
+  arr.push_back(Json::string("two"));
+  obj.set("items", std::move(arr));
+
+  Json back = parse_json(obj.dump());
+  EXPECT_EQ(back.get_string("name", ""), "hello \"world\"\n");
+  EXPECT_EQ(back.get_u64("count", 0), 12345678901234ull);
+  EXPECT_TRUE(back.get_bool("flag", false));
+  EXPECT_TRUE(back.get("nothing").is_null());
+  ASSERT_EQ(back.get("items").items().size(), 2u);
+  EXPECT_EQ(back.get("items").items()[1].as_string(), "two");
+  // Canonical writer: object keys are sorted, so dump() is stable.
+  EXPECT_EQ(back.dump(), obj.dump());
+}
+
+TEST(Protocol, JsonRejectsMalformedInput) {
+  EXPECT_THROW(parse_json("{"), ProtocolError);
+  EXPECT_THROW(parse_json("[1,2"), ProtocolError);
+  EXPECT_THROW(parse_json("\"unterminated"), ProtocolError);
+  EXPECT_THROW(parse_json("trueX"), ProtocolError);
+  EXPECT_THROW(parse_json("{} trailing"), ProtocolError);
+  EXPECT_THROW(parse_json(""), ProtocolError);
+}
+
+TEST(Protocol, FramingRoundTripsOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  Json msg = Json::object();
+  msg.set("cmd", Json::string("ping"));
+  msg.set("n", Json::number(42));
+  send_message(fds[0], msg);
+  Json got;
+  ASSERT_TRUE(recv_message(fds[1], got));
+  EXPECT_EQ(got.get_string("cmd", ""), "ping");
+  EXPECT_EQ(got.get_u64("n", 0), 42u);
+  // Clean EOF at a frame boundary is "no more messages", not an error.
+  ::close(fds[0]);
+  EXPECT_FALSE(recv_message(fds[1], got));
+  ::close(fds[1]);
+}
+
+TEST(Protocol, OversizedFrameLengthIsRejected) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // A corrupt length prefix must fail fast, not attempt a huge allocation.
+  unsigned char hdr[4] = {0xFF, 0xFF, 0xFF, 0x7F};
+  ASSERT_EQ(::write(fds[0], hdr, 4), 4);
+  Json got;
+  EXPECT_THROW(recv_message(fds[1], got), ProtocolError);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Protocol, JobSpecRoundTripAndValidation) {
+  JobSpec spec;
+  spec.mode = JobMode::kKlee;
+  spec.target = "gif2tiff";
+  spec.budget_ticks = 123456;
+  spec.rng_seed = 7;
+  spec.searcher = search::SearcherKind::kRandomPath;
+  spec.sym_size = 321;
+  spec.seed_scale = 9;
+  spec.slice_ticks = 1000;
+  JobSpec back = JobSpec::from_json(parse_json(spec.to_json().dump()));
+  EXPECT_EQ(back.mode, JobMode::kKlee);
+  EXPECT_EQ(back.target, "gif2tiff");
+  EXPECT_EQ(back.budget_ticks, 123456u);
+  EXPECT_EQ(back.rng_seed, 7u);
+  EXPECT_EQ(back.searcher, search::SearcherKind::kRandomPath);
+  EXPECT_EQ(back.sym_size, 321u);
+  EXPECT_EQ(back.seed_scale, 9u);
+  EXPECT_EQ(back.slice_ticks, 1000u);
+
+  Json bad_mode = spec.to_json();
+  bad_mode.set("mode", Json::string("fuzz"));
+  EXPECT_THROW(JobSpec::from_json(bad_mode), ProtocolError);
+  Json bad_searcher = spec.to_json();
+  bad_searcher.set("searcher", Json::string("astar"));
+  EXPECT_THROW(JobSpec::from_json(bad_searcher), ProtocolError);
+  Json no_target = spec.to_json();
+  no_target.set("target", Json::string(""));
+  EXPECT_THROW(JobSpec::from_json(no_target), ProtocolError);
+  Json zero_budget = spec.to_json();
+  zero_budget.set("budget_ticks", Json::number(std::uint64_t{0}));
+  EXPECT_THROW(JobSpec::from_json(zero_budget), ProtocolError);
+}
+
+// --- Scheduler ---------------------------------------------------------------
+
+/// Event sink safe to fill from worker threads. Inspect only after
+/// Scheduler::stop() has joined the workers.
+struct EventLog {
+  std::mutex mu;
+  std::vector<JobEvent> events;
+  Scheduler::EventFn fn() {
+    return [this](const JobEvent& ev) {
+      std::lock_guard<std::mutex> lock(mu);
+      events.push_back(ev);
+    };
+  }
+};
+
+core::KleeRunOptions klee_options_for(const JobSpec& spec) {
+  core::KleeRunOptions options;
+  options.searcher = spec.searcher;
+  options.sym_file_size = spec.sym_size;
+  options.rng_seed = spec.rng_seed;
+  return options;
+}
+
+TEST(Scheduler, SlicedKleeJobMatchesMonolithicRun) {
+  JobSpec spec;
+  spec.mode = JobMode::kKlee;
+  spec.target = "readelf";
+  spec.budget_ticks = 120'000;
+  spec.sym_size = 100;
+  spec.slice_ticks = 30'000;  // forces >= 4 slices
+
+  SchedulerOptions options;
+  options.workers = 1;
+  EventLog log;
+  Scheduler scheduler(options, log.fn());
+  std::uint64_t id = scheduler.submit(spec);
+  scheduler.wait_idle();
+  scheduler.stop();
+
+  JobRecord rec;
+  ASSERT_TRUE(scheduler.query(id, rec));
+  ASSERT_EQ(rec.state, JobState::kDone) << rec.error;
+
+  // Uninterrupted reference run with identical construction.
+  const ir::Module module = targets::build_target(targets::readelf_source());
+  core::KleeRun golden(module, "main", klee_options_for(spec));
+  golden.run(spec.budget_ticks);
+
+  EXPECT_EQ(rec.progress.ticks, golden.clock().now());
+  EXPECT_EQ(rec.progress.covered, golden.executor().num_covered());
+  EXPECT_EQ(rec.progress.bugs, golden.executor().bugs().size());
+  // The strong form: the sliced job's final campaign image is bit-identical.
+  EXPECT_EQ(rec.snapshot, serialize::CampaignCodec::snapshot(golden));
+
+  // Multiple slices really happened, each streaming a metrics event.
+  std::size_t metrics = 0;
+  for (const JobEvent& ev : log.events)
+    if (ev.kind == JobEvent::Kind::kMetrics) ++metrics;
+  EXPECT_GE(metrics, 4u);
+}
+
+TEST(Scheduler, SlicedPbseJobMatchesMonolithicRun) {
+  JobSpec spec;
+  spec.mode = JobMode::kPbse;
+  spec.target = "readelf";
+  spec.budget_ticks = 200'000;
+  spec.seed_scale = 4;
+  spec.slice_ticks = 60'000;
+
+  SchedulerOptions options;
+  options.workers = 1;
+  EventLog log;
+  Scheduler scheduler(options, log.fn());
+  std::uint64_t id = scheduler.submit(spec);
+  scheduler.wait_idle();
+  scheduler.stop();
+
+  JobRecord rec;
+  ASSERT_TRUE(scheduler.query(id, rec));
+  ASSERT_EQ(rec.state, JobState::kDone) << rec.error;
+
+  const ir::Module module = targets::build_target(targets::readelf_source());
+  core::PbseOptions pbse_options;
+  pbse_options.phase_searcher = spec.searcher;
+  pbse_options.rng_seed = spec.rng_seed;
+  core::PbseDriver golden(module, "main", pbse_options);
+  ASSERT_TRUE(golden.prepare(targets::make_melf_seed(spec.seed_scale)));
+  golden.run(spec.budget_ticks);
+
+  EXPECT_EQ(rec.progress.ticks, golden.clock().now());
+  EXPECT_EQ(rec.progress.covered, golden.executor().num_covered());
+  EXPECT_EQ(rec.progress.bugs, golden.executor().bugs().size());
+  EXPECT_EQ(rec.snapshot, serialize::CampaignCodec::snapshot(golden));
+}
+
+TEST(Scheduler, ResumeFromMidCheckpointMatchesUninterrupted) {
+  JobSpec spec;
+  spec.mode = JobMode::kPbse;
+  spec.target = "readelf";
+  spec.budget_ticks = 200'000;
+  spec.seed_scale = 4;
+  spec.slice_ticks = 50'000;
+
+  SchedulerOptions options;
+  options.workers = 1;
+
+  // Uninterrupted pass; keep the first mid-run checkpoint (what the server
+  // would have had on disk when a crash hit).
+  EventLog log;
+  Scheduler first(options, log.fn());
+  std::uint64_t id = first.submit(spec);
+  first.wait_idle();
+  first.stop();
+  JobRecord final_rec;
+  ASSERT_TRUE(first.query(id, final_rec));
+  ASSERT_EQ(final_rec.state, JobState::kDone) << final_rec.error;
+
+  const JobEvent* mid = nullptr;
+  for (const JobEvent& ev : log.events) {
+    if (ev.kind == JobEvent::Kind::kCheckpoint &&
+        ev.record.state == JobState::kCheckpointed) {
+      mid = &ev;
+      break;
+    }
+  }
+  ASSERT_NE(mid, nullptr) << "job finished without a mid-run checkpoint";
+
+  // Recovery pass: round-trip the record through its persisted form (meta
+  // JSON + snapshot bytes), resubmit into a FRESH scheduler, finish.
+  JobRecord recovered =
+      JobRecord::from_meta_json(parse_json(mid->record.meta_json().dump()));
+  recovered.snapshot = mid->record.snapshot;
+  EXPECT_GT(recovered.run_end_ticks, 0u);
+
+  EventLog log2;
+  Scheduler second(options, log2.fn());
+  second.resubmit(std::move(recovered));
+  second.wait_idle();
+  second.stop();
+
+  JobRecord resumed;
+  ASSERT_TRUE(second.query(id, resumed));
+  ASSERT_EQ(resumed.state, JobState::kDone) << resumed.error;
+  EXPECT_EQ(resumed.progress.ticks, final_rec.progress.ticks);
+  EXPECT_EQ(resumed.progress.covered, final_rec.progress.covered);
+  EXPECT_EQ(resumed.progress.bugs, final_rec.progress.bugs);
+  EXPECT_EQ(resumed.snapshot, final_rec.snapshot);  // bit-identical campaign
+}
+
+TEST(Scheduler, WorkStealingMigratesJobsAndPreservesResults) {
+  // Worker 0's deque gets the even job ids, worker 1's the odd ones. Odd
+  // jobs are tiny, so worker 1 drains its deque and must steal the large
+  // even jobs to keep busy.
+  SchedulerOptions options;
+  options.workers = 2;
+  EventLog log;
+  Scheduler scheduler(options, log.fn());
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    JobSpec spec;
+    spec.mode = JobMode::kKlee;
+    spec.target = "readelf";
+    spec.sym_size = 100;
+    bool odd = (i % 2) == 0;  // ids start at 1: submissions 0,2,4 -> odd ids
+    spec.budget_ticks = odd ? 20'000 : 120'000;
+    spec.slice_ticks = 10'000;
+    ids.push_back(scheduler.submit(spec));
+  }
+  scheduler.wait_idle();
+  const std::uint64_t steals = scheduler.steals();
+  scheduler.stop();
+
+  EXPECT_GE(steals, 1u) << "no job ever migrated between workers";
+  for (std::uint64_t id : ids) {
+    JobRecord rec;
+    ASSERT_TRUE(scheduler.query(id, rec));
+    EXPECT_EQ(rec.state, JobState::kDone) << rec.error;
+  }
+
+  // Stealing must not change results: every large job, wherever its slices
+  // ran, matches the monolithic reference.
+  const ir::Module module = targets::build_target(targets::readelf_source());
+  JobSpec big;
+  big.mode = JobMode::kKlee;
+  big.target = "readelf";
+  big.sym_size = 100;
+  big.budget_ticks = 120'000;
+  core::KleeRun golden(module, "main", klee_options_for(big));
+  golden.run(big.budget_ticks);
+  const auto golden_snap = serialize::CampaignCodec::snapshot(golden);
+  for (std::uint64_t id : ids) {
+    JobRecord rec;
+    ASSERT_TRUE(scheduler.query(id, rec));
+    if (rec.spec.budget_ticks == big.budget_ticks)
+      EXPECT_EQ(rec.snapshot, golden_snap) << "job " << id;
+  }
+}
+
+TEST(Scheduler, UnknownTargetFailsTheJobLoudly) {
+  SchedulerOptions options;
+  options.workers = 1;
+  EventLog log;
+  Scheduler scheduler(options, log.fn());
+  JobSpec spec;
+  spec.target = "no-such-target";
+  std::uint64_t id = scheduler.submit(spec);
+  scheduler.wait_idle();
+  scheduler.stop();
+  JobRecord rec;
+  ASSERT_TRUE(scheduler.query(id, rec));
+  EXPECT_EQ(rec.state, JobState::kFailed);
+  EXPECT_NE(rec.error.find("unknown target"), std::string::npos) << rec.error;
+}
+
+// --- Server end to end -------------------------------------------------------
+
+struct TempServerDir {
+  std::string dir;
+  explicit TempServerDir(const std::string& name)
+      : dir(name + "-" + std::to_string(::getpid())) {
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+  }
+  ~TempServerDir() { std::filesystem::remove_all(dir); }
+  std::string path(const std::string& leaf) const { return dir + "/" + leaf; }
+};
+
+TEST(Server, EndToEndSubmitWaitStatusShutdown) {
+  TempServerDir tmp("srv_e2e");
+  ServerOptions options;
+  options.socket_path = tmp.path("serve.sock");
+  options.state_dir = tmp.path("state");
+  options.scheduler.workers = 2;
+
+  Server server(options);
+  server.start();
+  std::thread loop([&server] { server.serve_forever(); });
+
+  JobSpec spec;
+  spec.mode = JobMode::kKlee;
+  spec.target = "readelf";
+  spec.budget_ticks = 60'000;
+  spec.sym_size = 100;
+  spec.slice_ticks = 20'000;
+
+  {
+    Client client = Client::connect_unix(options.socket_path);
+    Json ping = Json::object();
+    ping.set("cmd", Json::string("ping"));
+    EXPECT_TRUE(client.request(ping).get_bool("ok", false));
+
+    std::uint64_t id = client.submit(spec);
+    EXPECT_GT(id, 0u);
+    Json done = client.wait(id);
+    EXPECT_EQ(done.get_string("event", ""), "done");
+
+    // Streamed progress must match a local reference run.
+    const ir::Module module = targets::build_target(targets::readelf_source());
+    core::KleeRun golden(module, "main", klee_options_for(spec));
+    golden.run(spec.budget_ticks);
+    EXPECT_EQ(done.get("progress").get_u64("covered", 0),
+              golden.executor().num_covered());
+    EXPECT_EQ(done.get("progress").get_u64("ticks", 0), golden.clock().now());
+
+    // status and list see the terminal record.
+    Json status = Json::object();
+    status.set("cmd", Json::string("status"));
+    status.set("job", Json::number(id));
+    Json resp = client.request(status);
+    ASSERT_TRUE(resp.get_bool("ok", false));
+    EXPECT_EQ(resp.get("record").get_string("state", ""), "done");
+
+    Json list = Json::object();
+    list.set("cmd", Json::string("list"));
+    EXPECT_EQ(client.request(list).get("jobs").items().size(), 1u);
+
+    // wait() on an already-terminal job returns immediately.
+    Json again = client.wait(id);
+    EXPECT_EQ(again.get_string("event", ""), "done");
+
+    // The job's checkpoint made it to the state directory.
+    EXPECT_TRUE(std::filesystem::exists(
+        options.state_dir + "/job-" + std::to_string(id) + ".json"));
+    EXPECT_TRUE(std::filesystem::exists(
+        options.state_dir + "/job-" + std::to_string(id) + ".pbss"));
+
+    Json bye = Json::object();
+    bye.set("cmd", Json::string("shutdown"));
+    EXPECT_TRUE(client.request(bye).get_bool("ok", false));
+  }
+  loop.join();
+}
+
+TEST(Server, RecoversInterruptedJobFromStateDir) {
+  // Forge the on-disk aftermath of a crash: a mid-run checkpoint captured
+  // from a reference scheduler pass, persisted exactly as the daemon would
+  // have (job-<id>.pbss + job-<id>.json with state "running").
+  JobSpec spec;
+  spec.mode = JobMode::kPbse;
+  spec.target = "readelf";
+  spec.budget_ticks = 200'000;
+  spec.seed_scale = 4;
+  spec.slice_ticks = 50'000;
+
+  SchedulerOptions sched_options;
+  sched_options.workers = 1;
+  EventLog log;
+  Scheduler reference(sched_options, log.fn());
+  std::uint64_t id = reference.submit(spec);
+  reference.wait_idle();
+  reference.stop();
+  JobRecord final_rec;
+  ASSERT_TRUE(reference.query(id, final_rec));
+  ASSERT_EQ(final_rec.state, JobState::kDone) << final_rec.error;
+
+  const JobEvent* mid = nullptr;
+  for (const JobEvent& ev : log.events) {
+    if (ev.kind == JobEvent::Kind::kCheckpoint &&
+        ev.record.state == JobState::kCheckpointed) {
+      mid = &ev;
+      break;
+    }
+  }
+  ASSERT_NE(mid, nullptr);
+
+  TempServerDir tmp("srv_recover");
+  ServerOptions options;
+  options.socket_path = tmp.path("serve.sock");
+  options.state_dir = tmp.path("state");
+  options.scheduler.workers = 1;
+  std::filesystem::create_directories(options.state_dir);
+
+  JobRecord crashed = mid->record;
+  crashed.state = JobState::kRunning;  // died mid-slice
+  serialize::write_file_atomic(
+      options.state_dir + "/job-" + std::to_string(id) + ".pbss",
+      crashed.snapshot);
+  {
+    std::string meta = crashed.meta_json().dump();
+    std::string path =
+        options.state_dir + "/job-" + std::to_string(id) + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fwrite(meta.data(), 1, meta.size(), f), meta.size());
+    std::fclose(f);
+  }
+
+  Server server(options);
+  server.start();
+  EXPECT_EQ(server.recovered_jobs(), 1u);
+  std::thread loop([&server] { server.serve_forever(); });
+  {
+    Client client = Client::connect_unix(options.socket_path);
+    Json done = client.wait(id);
+    EXPECT_EQ(done.get_string("event", ""), "done");
+    EXPECT_EQ(done.get("progress").get_u64("ticks", 0),
+              final_rec.progress.ticks);
+    EXPECT_EQ(done.get("progress").get_u64("covered", 0),
+              final_rec.progress.covered);
+    EXPECT_EQ(done.get("progress").get_u64("bugs", 0),
+              final_rec.progress.bugs);
+
+    // The re-persisted final snapshot matches the uninterrupted run's.
+    auto resumed_snap = serialize::read_file(
+        options.state_dir + "/job-" + std::to_string(id) + ".pbss");
+    EXPECT_EQ(resumed_snap, final_rec.snapshot);
+
+    Json bye = Json::object();
+    bye.set("cmd", Json::string("shutdown"));
+    client.request(bye);
+  }
+  loop.join();
+}
+
+}  // namespace
+}  // namespace pbse::server

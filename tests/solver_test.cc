@@ -407,7 +407,7 @@ TEST(Interval, RangesOfAssembliesAndArithmetic) {
       interval_of(mk_mul(u16_at(array, 0), mk_const(12, 32)), domains);
   EXPECT_EQ(rmul.hi, 0xFFFFull * 12);
   // Pinned domain narrows the range.
-  domains.domain(array.get(), 1).pin(0);
+  domains.domain(array, 1).pin(0);
   const auto rpinned = interval_of(u16_at(array, 0), domains);
   EXPECT_EQ(rpinned.hi, 255u);
 }
